@@ -1,0 +1,57 @@
+// Multigpu: scale Betty micro-batch training across several simulated
+// devices — the multi-GPU extension the paper lists as future work. The K
+// micro-batches are scheduled over D devices with an LPT greedy assignment,
+// partial gradients are accumulated, and one simulated ring all-reduce
+// synchronizes them; the result is bit-identical to single-device training.
+//
+//	go run ./examples/multigpu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"betty/internal/core"
+	"betty/internal/dataset"
+	"betty/internal/device"
+)
+
+func main() {
+	ds, err := dataset.LoadScaled("ogbn-products", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d nodes, %d train\n\n", ds.Name, ds.Graph.NumNodes(), len(ds.TrainIdx))
+
+	const k = 16
+	fmt.Printf("%-8s %-12s %-14s %-12s %s\n", "devices", "makespan/ms", "allreduce/ms", "speedup", "per-device batches")
+	var base float64
+	for _, numDev := range []int{1, 2, 4, 8} {
+		s, err := core.BuildSAGE(ds, core.Options{
+			Hidden: 64, Fanouts: []int{3, 8}, Seed: 11, FixedK: k,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		devs := make([]*device.Device, numDev)
+		for i := range devs {
+			devs[i] = device.New(4*device.GiB, device.DefaultCostModel())
+		}
+		md := &core.MultiDevice{Engine: s.Engine, Devices: devs}
+		st, err := md.TrainEpoch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if numDev == 1 {
+			base = st.Makespan
+		}
+		batches := make([]int, numDev)
+		for i, l := range st.PerDevice {
+			batches[i] = l.Batches
+		}
+		fmt.Printf("%-8d %-12.3f %-14.3f %-12.2f %v\n",
+			numDev, 1e3*st.Makespan, 1e3*st.AllReduceSeconds, base/st.Makespan, batches)
+	}
+	fmt.Println("\ngradients are identical regardless of the device count, so accuracy")
+	fmt.Println("is unchanged; only the simulated wall time improves.")
+}

@@ -1,0 +1,3 @@
+module betty
+
+go 1.22

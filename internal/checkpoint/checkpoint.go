@@ -1,0 +1,106 @@
+// Package checkpoint serializes model parameters so trained models can be
+// saved and restored across processes. The format is a small
+// stdlib-gob-encoded envelope: a version, free-form metadata (model type,
+// dataset, epoch, ...), and the parameter tensors in the model's canonical
+// Params() order.
+//
+// Optimizer state (Adam moments) is deliberately not saved: a restored
+// model resumes with a fresh optimizer, which matches how GNN checkpoints
+// are typically used (evaluation, fine-tuning).
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"betty/internal/nn"
+)
+
+// formatVersion guards against decoding incompatible files.
+const formatVersion = 1
+
+// paramBlob is one serialized parameter tensor.
+type paramBlob struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// envelope is the on-disk structure.
+type envelope struct {
+	Version int
+	Meta    map[string]string
+	Params  []paramBlob
+}
+
+// Save writes m's parameters and the metadata to w.
+func Save(w io.Writer, m nn.Module, meta map[string]string) error {
+	env := envelope{Version: formatVersion, Meta: meta}
+	for _, p := range m.Params() {
+		env.Params = append(env.Params, paramBlob{
+			Rows: p.Value.Rows(),
+			Cols: p.Value.Cols(),
+			Data: p.Value.Data,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&env); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return nil
+}
+
+// Load restores parameters from r into m (which must have the same
+// architecture) and returns the stored metadata.
+func Load(r io.Reader, m nn.Module) (map[string]string, error) {
+	var env envelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if env.Version != formatVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d", env.Version)
+	}
+	params := m.Params()
+	if len(params) != len(env.Params) {
+		return nil, fmt.Errorf("checkpoint: model has %d parameters, file has %d", len(params), len(env.Params))
+	}
+	for i, p := range params {
+		blob := env.Params[i]
+		if p.Value.Rows() != blob.Rows || p.Value.Cols() != blob.Cols {
+			return nil, fmt.Errorf("checkpoint: parameter %d shape %dx%d, file has %dx%d",
+				i, p.Value.Rows(), p.Value.Cols(), blob.Rows, blob.Cols)
+		}
+		if len(blob.Data) != blob.Rows*blob.Cols {
+			return nil, fmt.Errorf("checkpoint: parameter %d data length %d for %dx%d",
+				i, len(blob.Data), blob.Rows, blob.Cols)
+		}
+	}
+	// validate everything before mutating the model
+	for i, p := range params {
+		copy(p.Value.Data, env.Params[i].Data)
+	}
+	return env.Meta, nil
+}
+
+// SaveFile writes a checkpoint to path (created or truncated).
+func SaveFile(path string, m nn.Module, meta map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := Save(f, m, meta); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a checkpoint from path into m.
+func LoadFile(path string, m nn.Module) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Load(f, m)
+}

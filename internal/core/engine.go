@@ -1,0 +1,379 @@
+// Package core is Betty's public engine: it ties together neighbor
+// sampling, REG-based batch partitioning, memory-aware planning, and
+// gradient-accumulating micro-batch training (Figure 5's workflow).
+//
+// One training epoch proceeds as the paper describes:
+//
+//  1. sample the full batch (every training node) into a hierarchical
+//     bipartite block list;
+//  2. choose the partition count K — either fixed, or by the memory-aware
+//     planner that estimates each candidate micro-batch without running it;
+//  3. slice the full batch into K micro-batch block lists (the
+//     block-dataloader step, preserving raw-graph index mappings);
+//  4. run forward/backward per micro-batch with the loss scaled by its
+//     share of outputs, accumulating gradients;
+//  5. apply one optimizer step for the whole batch — mathematically
+//     equivalent to full-batch training.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"betty/internal/dataset"
+	"betty/internal/device"
+	"betty/internal/graph"
+	"betty/internal/memory"
+	"betty/internal/nn"
+	"betty/internal/reg"
+	"betty/internal/sample"
+	"betty/internal/train"
+)
+
+// Engine runs Betty training for one model/dataset pair.
+type Engine struct {
+	Runner      *train.Runner
+	Sampler     *sample.Sampler
+	Partitioner reg.BatchPartitioner
+	Spec        memory.Spec
+
+	// FixedK forces a partition count; 0 selects the memory-aware planner.
+	FixedK int
+	// SafetyMargin is forwarded to the planner (see memory.Planner).
+	SafetyMargin float64
+	// MaxK caps the planner's search.
+	MaxK int
+	// Tracker, when set, feeds each epoch's estimated-vs-measured peak
+	// back into the planner's safety margin (the §6.7 feedback loop).
+	// Requires a device to measure against.
+	Tracker *memory.ErrorTracker
+}
+
+// New assembles an engine with Betty's defaults (REG partitioning,
+// memory-aware K selection).
+func New(r *train.Runner, s *sample.Sampler, spec memory.Spec, seed uint64) *Engine {
+	return &Engine{
+		Runner:      r,
+		Sampler:     s,
+		Partitioner: reg.BettyBatch{Seed: seed},
+		Spec:        spec,
+	}
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	// K is the number of micro- (or mini-) batches executed.
+	K int
+	// Loss is the batch-weighted mean training loss.
+	Loss float64
+	// TrainAcc is the training accuracy over the epoch's outputs.
+	TrainAcc float64
+	// PeakBytes is the device peak across the epoch (0 without a device).
+	PeakBytes int64
+	// TransferSeconds and ComputeSeconds are accumulated simulated times.
+	TransferSeconds, ComputeSeconds float64
+	// InputNodes is the total number of first-layer input nodes loaded.
+	InputNodes int
+	// Redundancy is the duplicated input nodes versus the full batch
+	// (zero for full-batch and mini-batch epochs, where it is undefined).
+	Redundancy int
+	// PlanAttempts counts partition counts evaluated by the planner.
+	PlanAttempts int
+	// MaxEstimate is the planner's largest estimated micro-batch peak.
+	MaxEstimate int64
+	// HostBytes is the host-memory footprint (features, labels, graph)
+	// that the heterogeneous layout keeps off the device.
+	HostBytes int64
+}
+
+// capacity returns the planning budget: the device capacity, or unbounded
+// when training without a device.
+func (e *Engine) capacity() int64 {
+	if e.Runner.Dev != nil {
+		return e.Runner.Dev.Capacity()
+	}
+	return math.MaxInt64 / 2
+}
+
+// PlanEpoch samples the full batch for the given seeds and chooses the
+// micro-batch partition (steps 1-3 of the workflow).
+func (e *Engine) PlanEpoch(seeds []int32) ([]*graph.Block, *memory.Plan, error) {
+	full, err := e.Sampler.Sample(e.Runner.Data.Graph, seeds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: sampling: %w", err)
+	}
+	margin := e.SafetyMargin
+	if e.Tracker != nil {
+		if m := e.Tracker.Margin(); m > margin {
+			margin = m
+		}
+	}
+	pl := &memory.Planner{
+		Capacity:     e.capacity(),
+		Partitioner:  e.Partitioner,
+		Spec:         e.Spec,
+		MaxK:         e.MaxK,
+		SafetyMargin: margin,
+	}
+	var plan *memory.Plan
+	if e.FixedK > 0 {
+		plan, err = pl.EvaluateFixedK(full, e.FixedK)
+	} else {
+		plan, err = pl.Plan(full)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return full, plan, nil
+}
+
+// TrainEpochMicro runs one epoch of Betty micro-batch training over the
+// dataset's training nodes: one gradient-accumulating pass and a single
+// optimizer step.
+func (e *Engine) TrainEpochMicro() (EpochStats, error) {
+	return e.TrainEpochMicroSeeds(e.Runner.Data.TrainIdx)
+}
+
+// TrainEpochMicroSeeds is TrainEpochMicro over an explicit seed set.
+func (e *Engine) TrainEpochMicroSeeds(seeds []int32) (EpochStats, error) {
+	var st EpochStats
+	full, plan, err := e.PlanEpoch(seeds)
+	if err != nil {
+		return st, err
+	}
+	st.K = plan.K
+	st.PlanAttempts = plan.Attempts
+	st.MaxEstimate = plan.MaxPeak
+	st.Redundancy = plan.Redundancy(full)
+	st.InputNodes = graph.TotalInputNodes(plan.Micro)
+	st.HostBytes = e.Runner.Data.HostBytes()
+
+	if e.Runner.Dev != nil {
+		e.Runner.Dev.ResetPeak()
+	}
+	totalOut := len(seeds)
+	for _, micro := range plan.Micro {
+		outs := micro[len(micro)-1].NumDst
+		scale := float32(outs) / float32(totalOut)
+		res, err := e.Runner.RunMicroBatch(micro, scale)
+		if err != nil {
+			return st, fmt.Errorf("core: micro-batch: %w", err)
+		}
+		st.Loss += res.Loss * float64(outs) / float64(totalOut)
+		st.TrainAcc += float64(res.Correct)
+		st.TransferSeconds += res.TransferSeconds
+		st.ComputeSeconds += res.ComputeSeconds
+		if res.PeakBytes > st.PeakBytes {
+			st.PeakBytes = res.PeakBytes
+		}
+	}
+	st.TrainAcc /= float64(totalOut)
+	e.Runner.Step()
+	if e.Tracker != nil && st.PeakBytes > 0 {
+		e.Tracker.Observe(st.MaxEstimate, st.PeakBytes)
+	}
+	return st, nil
+}
+
+// TrainEpochFull runs one full-batch epoch (K = 1): the baseline whose
+// memory footprint Betty reduces. It fails with a device OOM error when
+// the batch does not fit.
+func (e *Engine) TrainEpochFull() (EpochStats, error) {
+	saved := e.FixedK
+	e.FixedK = 1
+	defer func() { e.FixedK = saved }()
+	return e.TrainEpochMicro()
+}
+
+// TrainEpochMini runs one epoch of conventional mini-batch training with k
+// batches: training nodes are split randomly, each mini-batch is sampled
+// independently from the raw graph (so shared neighbors are re-expanded,
+// not sliced), and the optimizer steps after every batch. This is the
+// baseline of Table 6 and §3.3 — note it changes the effective batch size.
+func (e *Engine) TrainEpochMini(k int, shuffleSeed uint64) (EpochStats, error) {
+	var st EpochStats
+	seeds := e.Runner.Data.TrainIdx
+	if k <= 0 || k > len(seeds) {
+		return st, fmt.Errorf("core: invalid mini-batch count %d", k)
+	}
+	st.K = k
+	order := make([]int32, len(seeds))
+	copy(order, seeds)
+	shuffle(order, shuffleSeed)
+
+	if e.Runner.Dev != nil {
+		e.Runner.Dev.ResetPeak()
+	}
+	n := len(order)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		if lo == hi {
+			continue
+		}
+		blocks, err := e.Sampler.Sample(e.Runner.Data.Graph, order[lo:hi])
+		if err != nil {
+			return st, err
+		}
+		st.InputNodes += blocks[0].NumSrc
+		res, err := e.Runner.RunMicroBatch(blocks, 1)
+		if err != nil {
+			return st, fmt.Errorf("core: mini-batch %d: %w", i, err)
+		}
+		st.Loss += res.Loss * float64(hi-lo) / float64(n)
+		st.TrainAcc += float64(res.Correct)
+		st.TransferSeconds += res.TransferSeconds
+		st.ComputeSeconds += res.ComputeSeconds
+		if res.PeakBytes > st.PeakBytes {
+			st.PeakBytes = res.PeakBytes
+		}
+		e.Runner.Step()
+	}
+	st.TrainAcc /= float64(n)
+	return st, nil
+}
+
+// TestAccuracy evaluates the model on the dataset's test split using the
+// engine's sampler, chunked to bound memory.
+func (e *Engine) TestAccuracy() (float64, error) {
+	return e.Runner.Evaluate(e.Sampler, e.Runner.Data.TestIdx, 2048)
+}
+
+// ValAccuracy evaluates the model on the validation split.
+func (e *Engine) ValAccuracy() (float64, error) {
+	return e.Runner.Evaluate(e.Sampler, e.Runner.Data.ValIdx, 2048)
+}
+
+// shuffle is a seeded Fisher-Yates over node ids.
+func shuffle(s []int32, seed uint64) {
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := len(s) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Setup bundles the pieces most callers need: model, optimizer, runner,
+// spec, sampler, and engine, built from a dataset and a few knobs.
+type Setup struct {
+	Model   train.Model
+	Opt     nn.Optimizer
+	Runner  *train.Runner
+	Engine  *Engine
+	Dataset *dataset.Dataset
+}
+
+// Options configures BuildSAGE / BuildGAT.
+type Options struct {
+	// Hidden is the hidden width (default 64).
+	Hidden int
+	// Layers is the number of GNN layers (default len(Fanouts)).
+	Layers int
+	// Fanouts are the per-layer sampling bounds, input-first.
+	Fanouts []int
+	// Aggregator selects the SAGE reduction (default Mean).
+	Aggregator nn.Aggregator
+	// Heads is the GAT head count (default 4).
+	Heads int
+	// LR is the learning rate (default 0.01 Adam).
+	LR float32
+	// Device, when non-nil, enforces capacity and accumulates time.
+	Device *device.Device
+	// Seed drives weights, sampling, and partitioning.
+	Seed uint64
+	// FixedK forces the partition count (0 = memory-aware planning).
+	FixedK int
+	// Partitioner overrides Betty's REG partitioning (for baselines).
+	Partitioner reg.BatchPartitioner
+}
+
+func (o *Options) defaults() {
+	if o.Hidden == 0 {
+		o.Hidden = 64
+	}
+	if len(o.Fanouts) == 0 {
+		o.Fanouts = []int{10, 25}
+	}
+	if o.Layers == 0 {
+		o.Layers = len(o.Fanouts)
+	}
+	if o.LR == 0 {
+		o.LR = 0.01
+	}
+}
+
+// BuildSAGE assembles a GraphSAGE training setup over ds.
+func BuildSAGE(ds *dataset.Dataset, opts Options) (*Setup, error) {
+	opts.defaults()
+	cfg := nn.Config{
+		InDim:      ds.FeatureDim(),
+		Hidden:     opts.Hidden,
+		OutDim:     ds.NumClasses,
+		Layers:     opts.Layers,
+		Aggregator: opts.Aggregator,
+	}
+	model, err := nn.NewGraphSAGE(cfg, rngFor(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	opt := nn.NewAdam(model, opts.LR)
+	spec := memory.SpecFromSAGE(model, opt)
+	return finishSetup(ds, model, opt, spec, opts)
+}
+
+// BuildGCN assembles a GCN training setup over ds (the Aggregator option
+// is ignored; GCN always uses the symmetric normalized sum).
+func BuildGCN(ds *dataset.Dataset, opts Options) (*Setup, error) {
+	opts.defaults()
+	cfg := nn.Config{
+		InDim:  ds.FeatureDim(),
+		Hidden: opts.Hidden,
+		OutDim: ds.NumClasses,
+		Layers: opts.Layers,
+	}
+	model, err := nn.NewGCN(ds.Graph, cfg, rngFor(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	opt := nn.NewAdam(model, opts.LR)
+	spec := memory.SpecFromGCN(model, opt)
+	return finishSetup(ds, model, opt, spec, opts)
+}
+
+// BuildGAT assembles a GAT training setup over ds.
+func BuildGAT(ds *dataset.Dataset, opts Options) (*Setup, error) {
+	opts.defaults()
+	cfg := nn.Config{
+		InDim:  ds.FeatureDim(),
+		Hidden: opts.Hidden,
+		OutDim: ds.NumClasses,
+		Layers: opts.Layers,
+		Heads:  opts.Heads,
+	}
+	model, err := nn.NewGAT(cfg, rngFor(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	opt := nn.NewAdam(model, opts.LR)
+	spec := memory.SpecFromGAT(model, opt)
+	return finishSetup(ds, model, opt, spec, opts)
+}
+
+func finishSetup(ds *dataset.Dataset, model train.Model, opt nn.Optimizer, spec memory.Spec, opts Options) (*Setup, error) {
+	if len(opts.Fanouts) != spec.Model.Layers {
+		return nil, fmt.Errorf("core: %d fanouts for %d layers", len(opts.Fanouts), spec.Model.Layers)
+	}
+	runner := train.NewRunner(model, ds, opt, opts.Device)
+	eng := New(runner, sample.New(opts.Fanouts, opts.Seed^0x5a), spec, opts.Seed^0xb7)
+	eng.FixedK = opts.FixedK
+	if opts.Partitioner != nil {
+		eng.Partitioner = opts.Partitioner
+	}
+	return &Setup{Model: model, Opt: opt, Runner: runner, Engine: eng, Dataset: ds}, nil
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"betty/internal/dataset"
+	"betty/internal/device"
+	"betty/internal/memory"
+	"betty/internal/nn"
+	"betty/internal/reg"
+)
+
+// memoryTracker is a tiny indirection so the test reads naturally.
+func memoryTracker() *memory.ErrorTracker { return memory.NewErrorTracker() }
+
+func testData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name: "t", Nodes: 800, AvgDegree: 10, FeatureDim: 24,
+		NumClasses: 5, Homophily: 0.8, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildSAGEDefaults(t *testing.T) {
+	d := testData(t)
+	s, err := BuildSAGE(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Model.Config()
+	if cfg.InDim != 24 || cfg.OutDim != 5 || cfg.Layers != 2 || cfg.Hidden != 64 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+	if s.Engine.Partitioner.Name() != "betty" {
+		t.Fatal("default partitioner is not betty")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	d := testData(t)
+	if _, err := BuildSAGE(d, Options{Fanouts: []int{5}, Layers: 3}); err == nil {
+		t.Fatal("fanout/layer mismatch accepted")
+	}
+}
+
+func TestTrainEpochMicroFixedK(t *testing.T) {
+	d := testData(t)
+	s, err := BuildSAGE(d, Options{Seed: 2, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Engine.TrainEpochMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.K != 4 {
+		t.Fatalf("K = %d", st.K)
+	}
+	if st.Loss <= 0 || st.TrainAcc < 0 || st.TrainAcc > 1 {
+		t.Fatalf("bad metrics: %+v", st)
+	}
+	if st.Redundancy < 0 {
+		t.Fatal("negative redundancy")
+	}
+	if st.InputNodes <= 0 {
+		t.Fatal("no input nodes counted")
+	}
+}
+
+// Micro-batch training must be numerically equivalent to full-batch: after
+// one epoch from identical initializations, parameters must match closely.
+func TestMicroEqualsFullAfterOneEpoch(t *testing.T) {
+	d := testData(t)
+	mk := func(k int) *Setup {
+		s, err := BuildSAGE(d, Options{Seed: 3, Hidden: 16, Fanouts: []int{5, 5}, FixedK: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	full := mk(1)
+	micro := mk(6)
+	if _, err := full.Engine.TrainEpochMicro(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := micro.Engine.TrainEpochMicro(); err != nil {
+		t.Fatal(err)
+	}
+	pf, pm := full.Model.Params(), micro.Model.Params()
+	for i := range pf {
+		for j := range pf[i].Value.Data {
+			a, b := float64(pf[i].Value.Data[j]), float64(pm[i].Value.Data[j])
+			if math.Abs(a-b) > 1e-4*(1+math.Abs(a)) {
+				t.Fatalf("param %d elem %d: full %v vs micro %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestMemoryAwarePlanningSelectsK(t *testing.T) {
+	d := testData(t)
+	// First find the full-batch estimate, then constrain below it.
+	s0, err := BuildSAGE(d, Options{Seed: 4, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plan, err := s0.Engine.PlanEpoch(d.TrainIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := plan.MaxPeak * 3 / 5
+	dev := device.New(capacity, device.DefaultCostModel())
+	s, err := BuildSAGE(d, Options{Seed: 4, Hidden: 16, Fanouts: []int{5, 5}, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Engine.TrainEpochMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.K < 2 {
+		t.Fatalf("planner chose K=%d under a %d-byte budget", st.K, capacity)
+	}
+	if st.PlanAttempts != st.K {
+		t.Fatalf("attempts %d != K %d", st.PlanAttempts, st.K)
+	}
+	if st.PeakBytes > capacity {
+		t.Fatalf("measured peak %d exceeded capacity %d", st.PeakBytes, capacity)
+	}
+}
+
+func TestFullBatchOOMsWhereBettyFits(t *testing.T) {
+	d := testData(t)
+	s0, err := BuildSAGE(d, Options{Seed: 5, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plan, err := s0.Engine.PlanEpoch(d.TrainIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := plan.MaxPeak / 2
+
+	// full-batch training on the small device must OOM
+	devFull := device.New(capacity, device.DefaultCostModel())
+	full, err := BuildSAGE(d, Options{Seed: 5, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 1, Device: devFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Engine.TrainEpochFull(); !errors.Is(err, device.ErrOOM) {
+		t.Fatalf("full batch should OOM, got %v", err)
+	}
+
+	// Betty on the same budget must fit
+	devBetty := device.New(capacity, device.DefaultCostModel())
+	betty, err := BuildSAGE(d, Options{Seed: 5, Hidden: 16, Fanouts: []int{5, 5}, Device: devBetty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := betty.Engine.TrainEpochMicro()
+	if err != nil {
+		t.Fatalf("betty OOMed where it should fit: %v", err)
+	}
+	if st.K < 2 {
+		t.Fatal("betty did not partition")
+	}
+}
+
+func TestTrainEpochMini(t *testing.T) {
+	d := testData(t)
+	s, err := BuildSAGE(d, Options{Seed: 6, Hidden: 16, Fanouts: []int{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Engine.TrainEpochMini(4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.K != 4 || st.Loss <= 0 {
+		t.Fatalf("bad mini epoch: %+v", st)
+	}
+	if st.InputNodes <= 0 {
+		t.Fatal("mini epoch counted no inputs")
+	}
+	if _, err := s.Engine.TrainEpochMini(0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// Mini-batches re-expand shared neighbors, so for equal K they must load
+// at least as many first-layer inputs as sliced micro-batches (Table 6).
+func TestMiniLoadsMoreInputsThanMicro(t *testing.T) {
+	d := testData(t)
+	s, err := BuildSAGE(d, Options{Seed: 7, Hidden: 16, Fanouts: []int{8, 8}, FixedK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	micro, err := s.Engine.TrainEpochMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mini, err := s.Engine.TrainEpochMini(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mini.InputNodes < micro.InputNodes {
+		t.Fatalf("mini inputs %d < micro inputs %d", mini.InputNodes, micro.InputNodes)
+	}
+}
+
+// End-to-end learning: several Betty epochs must beat random-guess accuracy
+// clearly on a homophilous dataset.
+func TestBettyTrainingLearns(t *testing.T) {
+	d := testData(t)
+	s, err := BuildSAGE(d, Options{Seed: 8, Hidden: 32, Fanouts: []int{8, 8}, FixedK: 4, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < 12; epoch++ {
+		st, err := s.Engine.TrainEpochMicro()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLoss = st.Loss
+	}
+	acc, err := s.Engine.TestAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	guess := 1.0 / float64(d.NumClasses)
+	if acc < 3*guess {
+		t.Fatalf("test accuracy %.3f barely above guessing %.3f (loss %.3f)", acc, guess, lastLoss)
+	}
+	if _, err := s.Engine.ValAccuracy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Two engines built identically must produce identical epoch statistics —
+// the whole stack (dataset, sampling, partitioning, training) is seeded.
+func TestEngineDeterminism(t *testing.T) {
+	d := testData(t)
+	run := func() []float64 {
+		s, err := BuildSAGE(d, Options{Seed: 40, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var losses []float64
+		for e := 0; e < 3; e++ {
+			st, err := s.Engine.TrainEpochMicro()
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, st.Loss)
+		}
+		return losses
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("epoch %d: losses %v vs %v differ between identical runs", i, a[i], b[i])
+		}
+	}
+}
+
+// The adaptive tracker must observe epochs and only ever raise the margin
+// the planner uses (never below the static SafetyMargin).
+func TestAdaptiveTrackerFeedback(t *testing.T) {
+	d := testData(t)
+	dev := device.New(device.GiB, device.DefaultCostModel())
+	s, err := BuildSAGE(d, Options{Seed: 41, Hidden: 16, Fanouts: []int{5, 5}, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := memoryTracker()
+	s.Engine.Tracker = tr
+	if _, err := s.Engine.TrainEpochMicro(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Observations() {
+		t.Fatal("tracker saw no observations after an epoch with a device")
+	}
+}
+
+func TestBaselinePartitionerOverride(t *testing.T) {
+	d := testData(t)
+	s, err := BuildSAGE(d, Options{
+		Seed: 9, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4,
+		Partitioner: reg.RandomBatch{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine.Partitioner.Name() != "random" {
+		t.Fatal("partitioner override ignored")
+	}
+	if _, err := s.Engine.TrainEpochMicro(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildGATRuns(t *testing.T) {
+	d := testData(t)
+	s, err := BuildGAT(d, Options{Seed: 10, Hidden: 8, Heads: 2, Fanouts: []int{5, 5}, FixedK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Engine.Spec.IsGAT {
+		t.Fatal("GAT spec not marked")
+	}
+	st, err := s.Engine.TrainEpochMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loss <= 0 {
+		t.Fatalf("GAT loss = %v", st.Loss)
+	}
+}
+
+// The estimator must track the measured device peak for every model and
+// aggregator — the calibrated constants of memory.Estimate regress here if
+// the nn layer op sequences change without updating the estimator.
+func TestEstimatorCalibrationAcrossModels(t *testing.T) {
+	d := testData(t)
+	cases := []struct {
+		name  string
+		build func(dev *device.Device) (*Setup, error)
+	}{
+		{"sage-mean", func(dev *device.Device) (*Setup, error) {
+			return BuildSAGE(d, Options{Seed: 50, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4, Device: dev, Aggregator: nn.Mean})
+		}},
+		{"sage-sum", func(dev *device.Device) (*Setup, error) {
+			return BuildSAGE(d, Options{Seed: 50, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4, Device: dev, Aggregator: nn.Sum})
+		}},
+		{"sage-pool", func(dev *device.Device) (*Setup, error) {
+			return BuildSAGE(d, Options{Seed: 50, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4, Device: dev, Aggregator: nn.Pool})
+		}},
+		{"sage-lstm", func(dev *device.Device) (*Setup, error) {
+			return BuildSAGE(d, Options{Seed: 50, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4, Device: dev, Aggregator: nn.LSTM})
+		}},
+		{"gat", func(dev *device.Device) (*Setup, error) {
+			return BuildGAT(d, Options{Seed: 50, Hidden: 8, Heads: 2, Fanouts: []int{5, 5}, FixedK: 4, Device: dev})
+		}},
+		{"gcn", func(dev *device.Device) (*Setup, error) {
+			return BuildGCN(d, Options{Seed: 50, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4, Device: dev})
+		}},
+	}
+	for _, tc := range cases {
+		dev := device.New(8*device.GiB, device.DefaultCostModel())
+		s, err := tc.build(dev)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		st, err := s.Engine.TrainEpochMicro()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		ratio := float64(st.MaxEstimate) / float64(st.PeakBytes)
+		if ratio < 0.80 || ratio > 1.20 {
+			t.Fatalf("%s: estimate/measured ratio %.3f out of band (est %d, meas %d)",
+				tc.name, ratio, st.MaxEstimate, st.PeakBytes)
+		}
+	}
+}
+
+// The estimator must stay within a sane band of the measured device peak
+// (the Table 7 property, loosely checked here; the bench records exact
+// numbers).
+func TestEstimateTracksMeasuredPeak(t *testing.T) {
+	d := testData(t)
+	dev := device.New(8*device.GiB, device.DefaultCostModel())
+	s, err := BuildSAGE(d, Options{Seed: 11, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Engine.TrainEpochMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := float64(st.MaxEstimate)
+	meas := float64(st.PeakBytes)
+	ratio := est / meas
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("estimate %v vs measured %v (ratio %.2f) out of band", est, meas, ratio)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"betty/internal/device"
+)
+
+func multiSetup(t *testing.T, numDevices, k int) (*Setup, *MultiDevice) {
+	t.Helper()
+	d := testData(t)
+	s, err := BuildSAGE(d, Options{Seed: 20, Hidden: 16, Fanouts: []int{5, 5}, FixedK: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := make([]*device.Device, numDevices)
+	for i := range devs {
+		devs[i] = device.New(device.GiB, device.DefaultCostModel())
+	}
+	return s, &MultiDevice{Engine: s.Engine, Devices: devs}
+}
+
+func TestMultiDeviceBasics(t *testing.T) {
+	_, md := multiSetup(t, 2, 8)
+	st, err := md.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.K != 8 {
+		t.Fatalf("K = %d", st.K)
+	}
+	if len(st.PerDevice) != 2 {
+		t.Fatal("missing per-device loads")
+	}
+	total := 0
+	for _, l := range st.PerDevice {
+		total += l.Batches
+		if l.Batches > 0 && l.PeakBytes == 0 {
+			t.Fatal("device executed batches but recorded no peak")
+		}
+	}
+	if total != 8 {
+		t.Fatalf("devices executed %d of 8 micro-batches", total)
+	}
+	if st.AllReduceSeconds <= 0 {
+		t.Fatal("no all-reduce cost for 2 devices")
+	}
+	if st.Makespan < st.AllReduceSeconds {
+		t.Fatal("makespan excludes all-reduce")
+	}
+}
+
+func TestMultiDeviceNeedsDevices(t *testing.T) {
+	s, _ := multiSetup(t, 1, 4)
+	md := &MultiDevice{Engine: s.Engine}
+	if _, err := md.TrainEpoch(); err == nil {
+		t.Fatal("empty device list accepted")
+	}
+}
+
+// Two devices must beat one on makespan for a parallel-friendly K, because
+// the per-device execution time roughly halves.
+func TestMultiDeviceSpeedup(t *testing.T) {
+	_, md1 := multiSetup(t, 1, 8)
+	st1, err := md1.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, md4 := multiSetup(t, 4, 8)
+	st4, err := md4.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.Makespan >= st1.Makespan {
+		t.Fatalf("4-device makespan %v not below 1-device %v", st4.Makespan, st1.Makespan)
+	}
+}
+
+// Multi-device training is mathematically identical to single-engine
+// micro-batch training: parameters after one epoch must match.
+func TestMultiDeviceGradientEquivalence(t *testing.T) {
+	d := testData(t)
+	single, err := BuildSAGE(d, Options{Seed: 21, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.Engine.TrainEpochMicro(); err != nil {
+		t.Fatal(err)
+	}
+
+	multi, err := BuildSAGE(d, Options{Seed: 21, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := []*device.Device{
+		device.New(device.GiB, device.DefaultCostModel()),
+		device.New(device.GiB, device.DefaultCostModel()),
+		device.New(device.GiB, device.DefaultCostModel()),
+	}
+	md := &MultiDevice{Engine: multi.Engine, Devices: devs}
+	if _, err := md.TrainEpoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	ps, pm := single.Model.Params(), multi.Model.Params()
+	for i := range ps {
+		for j := range ps[i].Value.Data {
+			a, b := float64(ps[i].Value.Data[j]), float64(pm[i].Value.Data[j])
+			if math.Abs(a-b) > 1e-4*(1+math.Abs(a)) {
+				t.Fatalf("param %d elem %d: single %v vs multi %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+// Resident replicas must persist across epochs: the per-device peak must
+// not grow epoch over epoch (a regression here means each epoch allocates
+// a fresh model replica without freeing the previous one).
+func TestMultiDeviceNoReplicaLeak(t *testing.T) {
+	_, md := multiSetup(t, 2, 4)
+	first, err := md.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last MultiEpochStats
+	for e := 0; e < 3; e++ {
+		last, err = md.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// allow small variation from partition differences, not replica growth
+	if last.PeakBytes > first.PeakBytes*3/2 {
+		t.Fatalf("peak grew %d -> %d across epochs (replica leak)", first.PeakBytes, last.PeakBytes)
+	}
+}
+
+// A device too small for its share must surface the OOM.
+func TestMultiDeviceOOM(t *testing.T) {
+	s, _ := multiSetup(t, 1, 2)
+	tiny := device.New(64*device.KiB, device.DefaultCostModel())
+	md := &MultiDevice{Engine: s.Engine, Devices: []*device.Device{tiny}}
+	if _, err := md.TrainEpoch(); err == nil {
+		t.Fatal("tiny device did not OOM")
+	}
+}
+
+// The LPT scheduler must keep the device loads within a reasonable band.
+func TestMultiDeviceBalance(t *testing.T) {
+	_, md := multiSetup(t, 2, 16)
+	st, err := md.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := st.PerDevice[0].Batches, st.PerDevice[1].Batches
+	if a+b != 16 {
+		t.Fatalf("scheduled %d batches", a+b)
+	}
+	if a < 4 || b < 4 {
+		t.Fatalf("grossly imbalanced schedule: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,10 @@
+package core
+
+import "betty/internal/rng"
+
+// rngFor returns the RNG stream used for weight initialization under the
+// given setup seed, kept separate from the sampling and partitioning
+// streams so the three never alias.
+func rngFor(seed uint64) *rng.RNG {
+	return rng.New(seed ^ 0x77e1)
+}

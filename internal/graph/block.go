@@ -1,0 +1,168 @@
+package graph
+
+import "fmt"
+
+// Block is one bipartite layer of a GNN mini-batch: edges flow from source
+// (neighbor) nodes to destination (center) nodes. A multi-layer batch is a
+// []*Block ordered input-layer first, output-layer last, where layer l's
+// source node set equals layer l+1's... — more precisely, blocks[l+1].DstNID
+// is a prefix-compatible subset: blocks produced by sampling satisfy
+// blocks[l].DstNID == blocks[l+1].SrcNID is NOT required; instead
+// blocks[l].DstNID (the nodes computed by layer l) equals blocks[l+1]'s
+// source frontier. See sample.Sampler for the construction.
+//
+// Following the DGL convention, the first NumDst source slots are the
+// destination nodes themselves (SrcNID[:NumDst] == DstNID), so features
+// computed for destinations can be read from the source tensor prefix.
+//
+// Index mapping (§5 of the paper): SrcNID/DstNID map local (within-block)
+// indices to global node IDs in the raw graph, and EID maps local edge
+// indices to global edge IDs. Micro-batch blocks produced by slicing a
+// full-batch block keep the *raw-graph* IDs, which is exactly the
+// "dictionary bookmarking local indices to global indices" the paper adds.
+type Block struct {
+	// NumSrc and NumDst are the sizes of the two node sets.
+	NumSrc, NumDst int
+
+	// CSC layout over destinations: the in-edges of local destination d are
+	// positions Ptr[d]..Ptr[d+1] of SrcLocal and EID.
+	Ptr      []int64
+	SrcLocal []int32
+
+	// EID holds the global (raw-graph) edge ID of each block edge, or -1
+	// when the edge does not correspond to a raw-graph edge.
+	EID []int32
+
+	// EdgeWt holds per-edge weights (Equation 1's e_uv) parallel to
+	// SrcLocal; nil means unit weights.
+	EdgeWt []float32
+
+	// SrcNID and DstNID map local source/destination indices to global
+	// node IDs. SrcNID[:NumDst] == DstNID.
+	SrcNID []int32
+	DstNID []int32
+}
+
+// NumEdges returns the number of edges in the block.
+func (b *Block) NumEdges() int { return len(b.SrcLocal) }
+
+// InDegree returns the in-degree of local destination d.
+func (b *Block) InDegree(d int) int {
+	return int(b.Ptr[d+1] - b.Ptr[d])
+}
+
+// EdgePairs expands the CSC layout into parallel (srcLocal, dstLocal)
+// per-edge index slices, the format the tensor segment ops consume.
+func (b *Block) EdgePairs() (src, dst []int32) {
+	src = make([]int32, b.NumEdges())
+	dst = make([]int32, b.NumEdges())
+	for d := 0; d < b.NumDst; d++ {
+		for p := b.Ptr[d]; p < b.Ptr[d+1]; p++ {
+			src[p] = b.SrcLocal[p]
+			dst[p] = int32(d)
+		}
+	}
+	return src, dst
+}
+
+// InDegreeHistogram buckets the block's destination nodes by in-degree with
+// saturation at maxBucket, mirroring Graph.InDegreeHistogram.
+func (b *Block) InDegreeHistogram(maxBucket int) []int {
+	h := make([]int, maxBucket+1)
+	for d := 0; d < b.NumDst; d++ {
+		deg := b.InDegree(d)
+		if deg >= maxBucket {
+			h[maxBucket]++
+		} else {
+			h[deg]++
+		}
+	}
+	return h
+}
+
+// DegreeBuckets groups local destination indices by exact in-degree,
+// the "NodeBatch" bucketing used by the LSTM aggregator (§4.4.2). The map
+// key is the in-degree; destinations with zero in-degree are included under
+// key 0 so aggregators can give them zero neighborhoods.
+func (b *Block) DegreeBuckets() map[int][]int32 {
+	buckets := make(map[int][]int32)
+	for d := 0; d < b.NumDst; d++ {
+		deg := b.InDegree(d)
+		buckets[deg] = append(buckets[deg], int32(d))
+	}
+	return buckets
+}
+
+// Validate checks the block's structural invariants.
+func (b *Block) Validate() error {
+	if len(b.DstNID) != b.NumDst || len(b.SrcNID) != b.NumSrc {
+		return fmt.Errorf("block: NID length mismatch")
+	}
+	if b.NumSrc < b.NumDst {
+		return fmt.Errorf("block: NumSrc %d < NumDst %d (dst must be a src prefix)", b.NumSrc, b.NumDst)
+	}
+	for i := 0; i < b.NumDst; i++ {
+		if b.SrcNID[i] != b.DstNID[i] {
+			return fmt.Errorf("block: SrcNID[%d]=%d != DstNID[%d]=%d", i, b.SrcNID[i], i, b.DstNID[i])
+		}
+	}
+	if len(b.Ptr) != b.NumDst+1 {
+		return fmt.Errorf("block: Ptr length %d, want %d", len(b.Ptr), b.NumDst+1)
+	}
+	if b.Ptr[b.NumDst] != int64(len(b.SrcLocal)) {
+		return fmt.Errorf("block: Ptr does not cover all edges")
+	}
+	if len(b.EID) != len(b.SrcLocal) {
+		return fmt.Errorf("block: EID length mismatch")
+	}
+	if b.EdgeWt != nil && len(b.EdgeWt) != len(b.SrcLocal) {
+		return fmt.Errorf("block: EdgeWt length mismatch")
+	}
+	if !isNonDecreasing(b.Ptr) {
+		return fmt.Errorf("block: Ptr not monotone")
+	}
+	for _, s := range b.SrcLocal {
+		if s < 0 || int(s) >= b.NumSrc {
+			return fmt.Errorf("block: source index %d out of range [0,%d)", s, b.NumSrc)
+		}
+	}
+	return nil
+}
+
+// BatchStats summarizes a multi-layer batch (input-first block list) for
+// memory estimation and redundancy accounting.
+type BatchStats struct {
+	// NumInput is the number of source nodes of the input (first) block —
+	// the rows of the input-feature tensor the batch loads.
+	NumInput int
+	// NumOutput is the number of destination nodes of the output (last)
+	// block — the labeled nodes.
+	NumOutput int
+	// TotalEdges sums edge counts over all blocks.
+	TotalEdges int
+	// TotalNodes sums source-node counts over all blocks plus the final
+	// destination count: every feature/hidden row materialized.
+	TotalNodes int
+	// DstPerLayer lists NumDst per block, input-first.
+	DstPerLayer []int
+	// SrcPerLayer lists NumSrc per block, input-first.
+	SrcPerLayer []int
+}
+
+// Stats computes BatchStats for an input-first block list.
+func Stats(blocks []*Block) BatchStats {
+	var s BatchStats
+	if len(blocks) == 0 {
+		return s
+	}
+	s.NumInput = blocks[0].NumSrc
+	s.NumOutput = blocks[len(blocks)-1].NumDst
+	for _, b := range blocks {
+		s.TotalEdges += b.NumEdges()
+		s.TotalNodes += b.NumSrc
+		s.DstPerLayer = append(s.DstPerLayer, b.NumDst)
+		s.SrcPerLayer = append(s.SrcPerLayer, b.NumSrc)
+	}
+	s.TotalNodes += s.NumOutput
+	return s
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"betty/internal/rng"
+)
+
+// diamond returns the small test graph used across the package tests:
+//
+//	0 -> 2, 1 -> 2, 2 -> 3, 0 -> 3, 3 -> 0
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(4,
+		[]int32{0, 1, 2, 0, 3},
+		[]int32{2, 2, 3, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromEdgesBasics(t *testing.T) {
+	g := diamond(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesRejectsBadInput(t *testing.T) {
+	if _, err := FromEdges(2, []int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := FromEdges(2, []int32{0}, []int32{5}); err == nil {
+		t.Fatal("out-of-range node not rejected")
+	}
+	if _, err := FromEdges(2, []int32{-1}, []int32{0}); err == nil {
+		t.Fatal("negative node not rejected")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := diamond(t)
+	wantIn := []int{1, 0, 2, 2}
+	wantOut := []int{2, 1, 1, 1}
+	for v := int32(0); v < 4; v++ {
+		if g.InDegree(v) != wantIn[v] {
+			t.Fatalf("InDegree(%d) = %d, want %d", v, g.InDegree(v), wantIn[v])
+		}
+		if g.OutDegree(v) != wantOut[v] {
+			t.Fatalf("OutDegree(%d) = %d, want %d", v, g.OutDegree(v), wantOut[v])
+		}
+	}
+}
+
+func TestInNeighborsAndEdgeIDs(t *testing.T) {
+	g := diamond(t)
+	srcs, eids := g.InNeighbors(3)
+	if len(srcs) != 2 {
+		t.Fatalf("node 3 should have 2 in-neighbors, got %v", srcs)
+	}
+	seen := map[int32]int32{}
+	for i, s := range srcs {
+		seen[s] = eids[i]
+	}
+	// edge 2 is 2->3, edge 3 is 0->3
+	if seen[2] != 2 || seen[0] != 3 {
+		t.Fatalf("edge ids wrong: %v", seen)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	wantSrc := []int32{0, 1, 2, 0, 3}
+	wantDst := []int32{2, 2, 3, 3, 0}
+	g, err := FromEdges(4, wantSrc, wantDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := g.Edges()
+	for i := range wantSrc {
+		if src[i] != wantSrc[i] || dst[i] != wantDst[i] {
+			t.Fatalf("edge %d: got %d->%d, want %d->%d", i, src[i], dst[i], wantSrc[i], wantDst[i])
+		}
+	}
+}
+
+// Property: for random graphs, every edge is visible from both endpoints
+// with a consistent edge ID.
+func TestCSRCSCConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := int32(2 + r.Intn(30))
+		m := r.Intn(100)
+		src := make([]int32, m)
+		dst := make([]int32, m)
+		for i := range src {
+			src[i] = r.Int31n(n)
+			dst[i] = r.Int31n(n)
+		}
+		g, err := FromEdges(n, src, dst)
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		// every in-edge of every node must match the original list
+		count := 0
+		for v := int32(0); v < n; v++ {
+			ss, es := g.InNeighbors(v)
+			for i := range ss {
+				e := es[i]
+				if src[e] != ss[i] || dst[e] != v {
+					return false
+				}
+				count++
+			}
+		}
+		return count == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInDegreeHistogram(t *testing.T) {
+	g := diamond(t)
+	h := g.InDegreeHistogram(2)
+	// in-degrees: 1, 0, 2, 2 -> bucket0:1, bucket1:1, bucket>=2:2
+	if h[0] != 1 || h[1] != 1 || h[2] != 2 {
+		t.Fatalf("histogram = %v", h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != int(g.NumNodes()) {
+		t.Fatalf("histogram total %d != %d nodes", total, g.NumNodes())
+	}
+}
+
+func TestMaxInDegree(t *testing.T) {
+	g := diamond(t)
+	if g.MaxInDegree() != 2 {
+		t.Fatalf("MaxInDegree = %d", g.MaxInDegree())
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := FromEdges(3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 || g.InDegree(0) != 0 {
+		t.Fatal("empty graph misbehaves")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfLoopAndParallelEdges(t *testing.T) {
+	g, err := FromEdges(2, []int32{0, 0, 1, 1}, []int32{0, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InDegree(0) != 3 {
+		t.Fatalf("InDegree(0) = %d, want 3 (self loop + 2 parallel)", g.InDegree(0))
+	}
+}

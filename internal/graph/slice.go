@@ -1,0 +1,121 @@
+package graph
+
+import "fmt"
+
+// SliceBatch extracts a micro-batch from a full batch: given the full
+// batch's blocks (input-layer first) and a selection of local destination
+// indices of the *last* block, it returns the sub-blocks that compute
+// exactly those outputs. This is the paper's block_dataloader: the
+// micro-batch bipartite is induced on the full batch's sampled edges, so
+// the union of all micro-batches over a partition of the outputs covers the
+// full batch exactly, and any source shared between micro-batches is
+// duplicated (the redundancy Betty minimizes).
+//
+// Global node and edge IDs (SrcNID/DstNID/EID) are carried through, so the
+// micro-batch retains the raw-graph index mapping (§5, "Index mapping").
+func SliceBatch(full []*Block, sel []int32) ([]*Block, error) {
+	if len(full) == 0 {
+		return nil, fmt.Errorf("graph: SliceBatch on empty batch")
+	}
+	blocks := make([]*Block, len(full))
+	cur := sel
+	for l := len(full) - 1; l >= 0; l-- {
+		nb, srcSel, err := sliceBlock(full[l], cur)
+		if err != nil {
+			return nil, fmt.Errorf("graph: slicing layer %d: %w", l, err)
+		}
+		blocks[l] = nb
+		// The sources selected at this layer are, by the sampler's chaining
+		// invariant (inner.DstNID == outer.SrcNID), the destination
+		// selection of the next-inner block.
+		cur = srcSel
+	}
+	return blocks, nil
+}
+
+// sliceBlock induces a sub-block of b on the destination selection sel
+// (local dst indices of b). It returns the sub-block and the selection of
+// b's local *source* indices used, in the sub-block's source order.
+func sliceBlock(b *Block, sel []int32) (*Block, []int32, error) {
+	nDst := len(sel)
+	if nDst == 0 {
+		return nil, nil, fmt.Errorf("empty destination selection")
+	}
+	// srcSel[i] = b-local source index of the sub-block's local source i.
+	// Destinations come first (the dst-prefix convention).
+	srcSel := make([]int32, nDst, nDst*2)
+	localOf := make(map[int32]int32, nDst*2)
+	dstNID := make([]int32, nDst)
+	for i, d := range sel {
+		if d < 0 || int(d) >= b.NumDst {
+			return nil, nil, fmt.Errorf("destination index %d out of range [0,%d)", d, b.NumDst)
+		}
+		srcSel[i] = d // dst d is also b-local source d (prefix convention)
+		localOf[d] = int32(i)
+		dstNID[i] = b.DstNID[d]
+	}
+	ptr := make([]int64, nDst+1)
+	var srcLocal, eid []int32
+	var ewt []float32
+	for i, d := range sel {
+		for p := b.Ptr[d]; p < b.Ptr[d+1]; p++ {
+			s := b.SrcLocal[p]
+			li, ok := localOf[s]
+			if !ok {
+				li = int32(len(srcSel))
+				localOf[s] = li
+				srcSel = append(srcSel, s)
+			}
+			srcLocal = append(srcLocal, li)
+			eid = append(eid, b.EID[p])
+			if b.EdgeWt != nil {
+				ewt = append(ewt, b.EdgeWt[p])
+			}
+		}
+		ptr[i+1] = int64(len(srcLocal))
+	}
+	srcNID := make([]int32, len(srcSel))
+	for i, s := range srcSel {
+		srcNID[i] = b.SrcNID[s]
+	}
+	nb := &Block{
+		NumSrc:   len(srcSel),
+		NumDst:   nDst,
+		Ptr:      ptr,
+		SrcLocal: srcLocal,
+		EID:      eid,
+		EdgeWt:   ewt,
+		SrcNID:   srcNID,
+		DstNID:   dstNID,
+	}
+	return nb, srcSel, nil
+}
+
+// InputRedundancy measures the duplicated layer-1 input nodes across
+// micro-batches relative to the full batch: the sum of the micro-batches'
+// input source counts minus the full batch's (§6.5's "input nodes
+// redundancy" metric counts exactly these duplicated loads).
+func InputRedundancy(full []*Block, micro [][]*Block) int {
+	total := 0
+	for _, mb := range micro {
+		if len(mb) > 0 {
+			total += mb[0].NumSrc
+		}
+	}
+	if len(full) == 0 {
+		return total
+	}
+	return total - full[0].NumSrc
+}
+
+// TotalInputNodes sums the first-layer input counts over micro-batches
+// (Table 6's "total number of the first layer input").
+func TotalInputNodes(micro [][]*Block) int {
+	total := 0
+	for _, mb := range micro {
+		if len(mb) > 0 {
+			total += mb[0].NumSrc
+		}
+	}
+	return total
+}

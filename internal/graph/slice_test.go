@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"betty/internal/rng"
+)
+
+// buildChain constructs a deterministic two-layer batch over a tiny raw
+// graph for slicing tests. Layer sizes: inner 5 dst / 8 src, outer 2 dst /
+// 5 src; the inner block's DstNID equals the outer block's SrcNID.
+func buildChain() []*Block {
+	outer := &Block{
+		NumSrc:   5,
+		NumDst:   2,
+		Ptr:      []int64{0, 3, 5},
+		SrcLocal: []int32{2, 3, 1, 2, 4},
+		EID:      []int32{10, 11, 12, 13, 14},
+		SrcNID:   []int32{100, 101, 102, 103, 104},
+		DstNID:   []int32{100, 101},
+	}
+	inner := &Block{
+		NumSrc:   8,
+		NumDst:   5,
+		Ptr:      []int64{0, 2, 3, 5, 7, 8},
+		SrcLocal: []int32{5, 6, 7, 1, 5, 0, 6, 7},
+		EID:      []int32{20, 21, 22, 23, 24, 25, 26, 27},
+		SrcNID:   []int32{100, 101, 102, 103, 104, 200, 201, 202},
+		DstNID:   []int32{100, 101, 102, 103, 104},
+	}
+	return []*Block{inner, outer}
+}
+
+func TestSliceBatchSingleOutput(t *testing.T) {
+	full := buildChain()
+	micro, err := SliceBatch(full, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(micro) != 2 {
+		t.Fatalf("got %d layers", len(micro))
+	}
+	mOuter, mInner := micro[1], micro[0]
+	if err := mOuter.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mInner.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// output 0 (NID 100) draws from sources {102, 103, 101} plus itself
+	if mOuter.NumDst != 1 || mOuter.DstNID[0] != 100 {
+		t.Fatalf("outer dst = %v", mOuter.DstNID)
+	}
+	if mOuter.NumSrc != 4 {
+		t.Fatalf("outer src count = %d, want 4 (100,102,103,101)", mOuter.NumSrc)
+	}
+	// chaining invariant
+	if mInner.NumDst != mOuter.NumSrc {
+		t.Fatal("micro blocks do not chain")
+	}
+	for i := range mInner.DstNID {
+		if mInner.DstNID[i] != mOuter.SrcNID[i] {
+			t.Fatal("micro frontier NIDs do not chain")
+		}
+	}
+	// EIDs preserved: outer edges of output 0 were 10, 11, 12
+	if len(mOuter.EID) != 3 || mOuter.EID[0] != 10 || mOuter.EID[1] != 11 || mOuter.EID[2] != 12 {
+		t.Fatalf("outer EIDs = %v", mOuter.EID)
+	}
+}
+
+func TestSliceBatchFullSelectionIsIdentity(t *testing.T) {
+	full := buildChain()
+	micro, err := SliceBatch(full, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range full {
+		if micro[l].NumSrc != full[l].NumSrc || micro[l].NumEdges() != full[l].NumEdges() {
+			t.Fatalf("layer %d: full selection changed the batch: %d/%d src, %d/%d edges",
+				l, micro[l].NumSrc, full[l].NumSrc, micro[l].NumEdges(), full[l].NumEdges())
+		}
+		for i := range full[l].SrcNID {
+			if micro[l].SrcNID[i] != full[l].SrcNID[i] {
+				t.Fatalf("layer %d: source order changed", l)
+			}
+		}
+	}
+}
+
+func TestSliceBatchErrors(t *testing.T) {
+	full := buildChain()
+	if _, err := SliceBatch(nil, []int32{0}); err == nil {
+		t.Fatal("empty batch not rejected")
+	}
+	if _, err := SliceBatch(full, nil); err == nil {
+		t.Fatal("empty selection not rejected")
+	}
+	if _, err := SliceBatch(full, []int32{9}); err == nil {
+		t.Fatal("out-of-range selection not rejected")
+	}
+}
+
+// randomBatch builds a random raw graph and samples a full 2-layer batch
+// from it using only package-local structures (mirrors sample.Sampler).
+func randomBatchForSlice(seed uint64) []*Block {
+	r := rng.New(seed)
+	n := int32(30 + r.Intn(100))
+	m := 8 * int(n)
+	src := make([]int32, m)
+	dst := make([]int32, m)
+	for i := range src {
+		src[i] = r.Int31n(n)
+		dst[i] = r.Int31n(n)
+	}
+	g, err := FromEdges(n, src, dst)
+	if err != nil {
+		panic(err)
+	}
+	nSeeds := 4 + r.Intn(8)
+	seeds := r.Perm(int(n))[:nSeeds]
+	// full-neighbor two-layer expansion
+	layer := func(frontier []int32) *Block {
+		local := map[int32]int32{}
+		srcNID := append([]int32(nil), frontier...)
+		for i, v := range frontier {
+			local[v] = int32(i)
+		}
+		b := &Block{NumDst: len(frontier), DstNID: append([]int32(nil), frontier...), Ptr: make([]int64, 1, len(frontier)+1)}
+		for _, v := range frontier {
+			ss, es := g.InNeighbors(v)
+			for i, u := range ss {
+				li, ok := local[u]
+				if !ok {
+					li = int32(len(srcNID))
+					local[u] = li
+					srcNID = append(srcNID, u)
+				}
+				b.SrcLocal = append(b.SrcLocal, li)
+				b.EID = append(b.EID, es[i])
+			}
+			b.Ptr = append(b.Ptr, int64(len(b.SrcLocal)))
+		}
+		b.SrcNID = srcNID
+		b.NumSrc = len(srcNID)
+		return b
+	}
+	outer := layer(seeds)
+	inner := layer(outer.SrcNID)
+	return []*Block{inner, outer}
+}
+
+// Property: for random batches and random 2-way splits, (1) each micro
+// batch validates and chains, (2) micro outputs partition the full outputs,
+// (3) every micro edge appears in the full block with identical EID, and
+// (4) union of micro input nodes equals the full input node set.
+func TestSliceBatchProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		full := randomBatchForSlice(seed)
+		last := full[len(full)-1]
+		r := rng.New(seed ^ 0xabc)
+		perm := r.Perm(last.NumDst)
+		cutAt := 1 + r.Intn(last.NumDst-1+1)
+		if cutAt >= last.NumDst {
+			cutAt = last.NumDst - 1
+		}
+		if cutAt < 1 {
+			cutAt = 1
+		}
+		selA, selB := perm[:cutAt], perm[cutAt:]
+		if len(selB) == 0 {
+			return true
+		}
+		microA, err := SliceBatch(full, selA)
+		if err != nil {
+			return false
+		}
+		microB, err := SliceBatch(full, selB)
+		if err != nil {
+			return false
+		}
+		for _, micro := range [][]*Block{microA, microB} {
+			for l, b := range micro {
+				if b.Validate() != nil {
+					return false
+				}
+				if l+1 < len(micro) {
+					if b.NumDst != micro[l+1].NumSrc {
+						return false
+					}
+				}
+			}
+		}
+		// outputs partition
+		outs := map[int32]int{}
+		for _, d := range microA[len(microA)-1].DstNID {
+			outs[d]++
+		}
+		for _, d := range microB[len(microB)-1].DstNID {
+			outs[d]++
+		}
+		if len(outs) != last.NumDst {
+			return false
+		}
+		for _, c := range outs {
+			if c != 1 {
+				return false
+			}
+		}
+		// input union
+		fullInputs := map[int32]bool{}
+		for _, v := range full[0].SrcNID {
+			fullInputs[v] = true
+		}
+		microInputs := map[int32]bool{}
+		for _, v := range microA[0].SrcNID {
+			microInputs[v] = true
+		}
+		for _, v := range microB[0].SrcNID {
+			microInputs[v] = true
+		}
+		if len(fullInputs) != len(microInputs) {
+			return false
+		}
+		for v := range microInputs {
+			if !fullInputs[v] {
+				return false
+			}
+		}
+		// redundancy is non-negative and consistent with TotalInputNodes
+		red := InputRedundancy(full, [][]*Block{microA, microB})
+		if red < 0 {
+			return false
+		}
+		if TotalInputNodes([][]*Block{microA, microB}) != full[0].NumSrc+red {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Slicing carries edge weights through to the micro-batch blocks.
+func TestSliceCarriesEdgeWeights(t *testing.T) {
+	full := buildChain()
+	full[0].EdgeWt = []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	full[1].EdgeWt = []float32{10, 11, 12, 13, 14}
+	micro, err := SliceBatch(full, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOuter := micro[1]
+	if mOuter.EdgeWt == nil {
+		t.Fatal("slice dropped edge weights")
+	}
+	// output 0's edges in the full outer block are positions 0..2
+	for i := 0; i < 3; i++ {
+		if mOuter.EdgeWt[i] != full[1].EdgeWt[i] {
+			t.Fatalf("weight %d = %v, want %v", i, mOuter.EdgeWt[i], full[1].EdgeWt[i])
+		}
+	}
+	if err := mOuter.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputRedundancyEmptyFull(t *testing.T) {
+	micro := [][]*Block{buildChain()}
+	if InputRedundancy(nil, micro) != 8 {
+		t.Fatal("redundancy with empty full batch should equal micro total")
+	}
+}

@@ -1,0 +1,76 @@
+package memory
+
+import "sync"
+
+// ErrorTracker learns a safety margin from observed estimate-vs-measured
+// memory errors. The paper (§6.7) notes that although the estimator's
+// error is small, OOM can still be triggered in theory, and plans to
+// "incorporate the estimation error into Betty's batch re-partitioning
+// strategy if a micro-batch is getting close to the memory capacity" —
+// this type implements that feedback loop.
+//
+// After every executed epoch the engine reports (estimated, measured)
+// peaks; the tracker keeps an exponential moving average of the relative
+// underestimation and exposes it (plus headroom) as a planner SafetyMargin.
+type ErrorTracker struct {
+	mu sync.Mutex
+	// Alpha is the EMA factor for new observations (default 0.5).
+	Alpha float64
+	// Headroom is added on top of the learned underestimation so the
+	// margin stays conservative (default 0.02 = 2%).
+	Headroom float64
+
+	ema      float64
+	observed bool
+}
+
+// NewErrorTracker returns a tracker with the default smoothing.
+func NewErrorTracker() *ErrorTracker {
+	return &ErrorTracker{Alpha: 0.5, Headroom: 0.02}
+}
+
+// Observe records one epoch's estimated and measured peak bytes.
+func (t *ErrorTracker) Observe(estimated, measured int64) {
+	if estimated <= 0 || measured <= 0 {
+		return
+	}
+	under := float64(measured-estimated) / float64(estimated)
+	if under < 0 {
+		under = 0 // overestimates need no margin
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	alpha := t.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	if !t.observed {
+		t.ema = under
+		t.observed = true
+	} else {
+		t.ema = alpha*under + (1-alpha)*t.ema
+	}
+}
+
+// Margin returns the safety margin the planner should apply: the learned
+// relative underestimation plus headroom, or just the headroom before any
+// observation.
+func (t *ErrorTracker) Margin() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	headroom := t.Headroom
+	if headroom < 0 {
+		headroom = 0
+	}
+	if !t.observed {
+		return headroom
+	}
+	return t.ema + headroom
+}
+
+// Observations reports whether the tracker has seen any data.
+func (t *ErrorTracker) Observations() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.observed
+}

@@ -1,0 +1,59 @@
+package memory
+
+import "testing"
+
+func TestTrackerStartsWithHeadroomOnly(t *testing.T) {
+	tr := NewErrorTracker()
+	if tr.Observations() {
+		t.Fatal("fresh tracker claims observations")
+	}
+	if m := tr.Margin(); m != 0.02 {
+		t.Fatalf("initial margin %v, want headroom 0.02", m)
+	}
+}
+
+func TestTrackerLearnsUnderestimation(t *testing.T) {
+	tr := NewErrorTracker()
+	tr.Observe(100, 110) // 10% underestimate
+	m := tr.Margin()
+	if m < 0.10 || m > 0.15 {
+		t.Fatalf("margin %v should reflect the 10%% underestimate plus headroom", m)
+	}
+	// converging observations pull the EMA down
+	for i := 0; i < 10; i++ {
+		tr.Observe(100, 100)
+	}
+	if m2 := tr.Margin(); m2 > 0.03 {
+		t.Fatalf("margin %v did not decay after accurate observations", m2)
+	}
+}
+
+func TestTrackerIgnoresOverestimates(t *testing.T) {
+	tr := NewErrorTracker()
+	tr.Observe(200, 100) // estimator was conservative
+	if m := tr.Margin(); m != 0.02 {
+		t.Fatalf("overestimate should leave only headroom, got %v", m)
+	}
+}
+
+func TestTrackerIgnoresDegenerateInputs(t *testing.T) {
+	tr := NewErrorTracker()
+	tr.Observe(0, 100)
+	tr.Observe(100, 0)
+	tr.Observe(-1, -1)
+	if tr.Observations() {
+		t.Fatal("degenerate observations were recorded")
+	}
+}
+
+func TestTrackerEMASmoothing(t *testing.T) {
+	tr := NewErrorTracker()
+	tr.Alpha = 0.5
+	tr.Observe(100, 120) // 20%
+	tr.Observe(100, 100) // 0%
+	// EMA: 0.5*0 + 0.5*0.2 = 0.10 (+ headroom)
+	m := tr.Margin()
+	if m < 0.11 || m > 0.13 {
+		t.Fatalf("EMA margin %v, want about 0.12", m)
+	}
+}

@@ -1,0 +1,343 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+
+	"betty/internal/graph"
+	"betty/internal/nn"
+	"betty/internal/reg"
+	"betty/internal/rng"
+	"betty/internal/sample"
+)
+
+// testGraph builds a reproducible scale-free-ish random graph.
+func testGraph(t *testing.T, seed uint64, n int32, m int) *graph.Graph {
+	t.Helper()
+	r := rng.New(seed)
+	src := make([]int32, m)
+	dst := make([]int32, m)
+	for i := range src {
+		src[i] = r.Int31n(n)
+		dst[i] = r.Int31n(n)
+	}
+	g, err := graph.FromEdges(n, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sampleBatch(t *testing.T, g *graph.Graph, seeds []int32, fanouts []int) []*graph.Block {
+	t.Helper()
+	blocks, err := sample.New(fanouts, 1).Sample(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks
+}
+
+func sageSpec(t *testing.T, cfg nn.Config) Spec {
+	t.Helper()
+	r := rng.New(2)
+	m, err := nn.NewGraphSAGE(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SpecFromSAGE(m, nn.NewAdam(m, 0.01))
+}
+
+func seedsRange(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+func TestEstimateHandComputed(t *testing.T) {
+	// one layer, one block: 2 dst, 3 src, 4 edges
+	b := &graph.Block{
+		NumSrc:   3,
+		NumDst:   2,
+		Ptr:      []int64{0, 2, 4},
+		SrcLocal: []int32{1, 2, 0, 2},
+		EID:      []int32{-1, -1, -1, -1},
+		SrcNID:   []int32{5, 6, 7},
+		DstNID:   []int32{5, 6},
+	}
+	spec := Spec{
+		Model:            nn.Config{InDim: 10, Hidden: 8, OutDim: 4, Layers: 1, Aggregator: nn.Mean},
+		ParamsGNN:        100,
+		ParamsAgg:        0,
+		OptStatePerParam: 2,
+	}
+	est, err := Estimate([]*graph.Block{b}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Params != 400 {
+		t.Fatalf("Params = %d", est.Params)
+	}
+	if est.InputFeatures != 3*10*4 {
+		t.Fatalf("InputFeatures = %d", est.InputFeatures)
+	}
+	if est.Labels != 2*4 {
+		t.Fatalf("Labels = %d", est.Labels)
+	}
+	if est.Blocks != 4*3*4 {
+		t.Fatalf("Blocks = %d", est.Blocks)
+	}
+	// single layer: out dim = OutDim = 4, two destinations
+	if est.Hidden != 2*4*4 {
+		t.Fatalf("Hidden = %d", est.Hidden)
+	}
+	// mean-layer intermediates: self+concat (3NF) + combine (2NO) +
+	// segment sum and scale (2NF) = 116 values, minus the N*O counted in
+	// Hidden: (116 - 8) * 4 bytes
+	if est.Aggregator != (3*2*10+2*2*4+2*2*10-2*4)*4 {
+		t.Fatalf("Aggregator = %d", est.Aggregator)
+	}
+	if est.Gradients != 400 || est.OptStates != 800 {
+		t.Fatalf("Gradients/OptStates = %d/%d", est.Gradients, est.OptStates)
+	}
+	// peak: stable + max(agg=432, grads=400) = stable + 432
+	stable := est.Params + est.InputFeatures + est.Labels + est.Blocks + est.Hidden + est.OptStates
+	if est.Peak() != stable+432 {
+		t.Fatalf("Peak = %d, want %d", est.Peak(), stable+432)
+	}
+	if est.Total() != stable+est.Aggregator+est.Gradients {
+		t.Fatal("Total mismatch")
+	}
+}
+
+func TestEstimateLSTMEquation5(t *testing.T) {
+	b := &graph.Block{
+		NumSrc:   4,
+		NumDst:   2,
+		Ptr:      []int64{0, 3, 5},
+		SrcLocal: []int32{1, 2, 3, 0, 2},
+		EID:      []int32{-1, -1, -1, -1, -1},
+		SrcNID:   []int32{1, 2, 3, 4},
+		DstNID:   []int32{1, 2},
+	}
+	spec := Spec{
+		Model:     nn.Config{InDim: 6, Hidden: 6, OutDim: 3, Layers: 1, Aggregator: nn.LSTM},
+		ParamsGNN: 10,
+	}
+	est, err := Estimate([]*graph.Block{b}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq 5: sum_i L_i*B_i = E = 5 edges, H = 6, x30 intermediates = 900
+	// values, plus bucket scatters (degrees {3,2} -> 2 buckets -> 3*N*F=36)
+	// plus the shared pipeline 3NF+2NO = 48, minus N*O counted in Hidden.
+	want := int64(5*6*30+36+3*2*6+2*2*3-2*3) * 4
+	if est.Aggregator != want {
+		t.Fatalf("LSTM aggregator estimate = %d, want %d", est.Aggregator, want)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	spec := sageSpec(t, nn.Config{InDim: 4, Hidden: 4, OutDim: 2, Layers: 2, Aggregator: nn.Mean})
+	if _, err := Estimate(nil, spec); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	b := &graph.Block{NumSrc: 1, NumDst: 1, Ptr: []int64{0, 0}, SrcNID: []int32{0}, DstNID: []int32{0}}
+	if _, err := Estimate([]*graph.Block{b}, spec); err == nil {
+		t.Fatal("layer count mismatch accepted")
+	}
+}
+
+// Figure 2 trends: LSTM > Pool > Mean on the same batch; deeper models,
+// wider hidden sizes, and larger fanouts all increase the estimate.
+func TestEstimateMonotoneTrends(t *testing.T) {
+	g := testGraph(t, 3, 3000, 40000)
+	seeds := seedsRange(256)
+
+	base := nn.Config{InDim: 32, Hidden: 32, OutDim: 8, Layers: 2}
+	batch2 := sampleBatch(t, g, seeds, []int{10, 10})
+
+	est := func(cfg nn.Config, blocks []*graph.Block) int64 {
+		e, err := Estimate(blocks, sageSpec(t, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Peak()
+	}
+
+	cfgMean, cfgPool, cfgLSTM := base, base, base
+	cfgMean.Aggregator = nn.Mean
+	cfgPool.Aggregator = nn.Pool
+	cfgLSTM.Aggregator = nn.LSTM
+	mean, pool, lstm := est(cfgMean, batch2), est(cfgPool, batch2), est(cfgLSTM, batch2)
+	if !(mean < pool && pool < lstm) {
+		t.Fatalf("aggregator ordering violated: mean=%d pool=%d lstm=%d", mean, pool, lstm)
+	}
+
+	deep := base
+	deep.Aggregator = nn.Mean
+	deep.Layers = 3
+	batch3 := sampleBatch(t, g, seeds, []int{10, 10, 10})
+	if est(cfgMean, batch2) >= est(deep, batch3) {
+		t.Fatal("deeper model should cost more")
+	}
+
+	wide := cfgMean
+	wide.Hidden = 128
+	wide.InDim = 128
+	if est(cfgMean, batch2) >= est(wide, batch2) {
+		t.Fatal("wider model should cost more")
+	}
+
+	batchBigFanout := sampleBatch(t, g, seeds, []int{25, 25})
+	if est(cfgMean, batch2) >= est(cfgMean, batchBigFanout) {
+		t.Fatal("larger fanout should cost more")
+	}
+}
+
+func TestPlannerFindsMinimalK(t *testing.T) {
+	g := testGraph(t, 5, 2000, 30000)
+	full := sampleBatch(t, g, seedsRange(200), []int{10, 10})
+	spec := sageSpec(t, nn.Config{InDim: 64, Hidden: 64, OutDim: 8, Layers: 2, Aggregator: nn.Mean})
+
+	fullEst, err := Estimate(full, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// capacity below the full batch forces partitioning
+	capacity := fullEst.Peak() * 2 / 3
+	pl := &Planner{
+		Capacity:    capacity,
+		Partitioner: reg.BettyBatch{Seed: 1},
+		Spec:        spec,
+	}
+	plan, err := pl.Plan(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.K < 2 {
+		t.Fatalf("expected K >= 2, got %d", plan.K)
+	}
+	if plan.MaxPeak > capacity {
+		t.Fatalf("plan violates capacity: %d > %d", plan.MaxPeak, capacity)
+	}
+	if len(plan.Micro) != plan.K || len(plan.Estimates) != plan.K {
+		t.Fatal("plan structure inconsistent")
+	}
+	if plan.Attempts != plan.K {
+		t.Fatalf("K+1 search should try every count: attempts=%d K=%d", plan.Attempts, plan.K)
+	}
+	// K-1 must NOT fit (minimality)
+	prev, err := pl.EvaluateFixedK(full, plan.K-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.MaxPeak <= capacity {
+		t.Fatalf("K-1=%d already fits (%d <= %d); planner overshot", plan.K-1, prev.MaxPeak, capacity)
+	}
+	if plan.Redundancy(full) < 0 {
+		t.Fatal("negative redundancy")
+	}
+}
+
+func TestPlannerHugeCapacityKeepsK1(t *testing.T) {
+	g := testGraph(t, 6, 500, 4000)
+	full := sampleBatch(t, g, seedsRange(50), []int{5, 5})
+	spec := sageSpec(t, nn.Config{InDim: 8, Hidden: 8, OutDim: 4, Layers: 2, Aggregator: nn.Mean})
+	pl := &Planner{Capacity: 1 << 40, Partitioner: reg.BettyBatch{}, Spec: spec}
+	plan, err := pl.Plan(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.K != 1 || plan.Attempts != 1 {
+		t.Fatalf("K=%d attempts=%d, want 1/1", plan.K, plan.Attempts)
+	}
+}
+
+func TestPlannerCannotFit(t *testing.T) {
+	g := testGraph(t, 7, 500, 4000)
+	full := sampleBatch(t, g, seedsRange(20), []int{5, 5})
+	spec := sageSpec(t, nn.Config{InDim: 8, Hidden: 8, OutDim: 4, Layers: 2, Aggregator: nn.Mean})
+	pl := &Planner{Capacity: 100, Partitioner: reg.BettyBatch{}, Spec: spec, MaxK: 8}
+	_, err := pl.Plan(full)
+	if !errors.Is(err, ErrCannotFit) {
+		t.Fatalf("want ErrCannotFit, got %v", err)
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	spec := sageSpec(t, nn.Config{InDim: 4, Hidden: 4, OutDim: 2, Layers: 1, Aggregator: nn.Mean})
+	if _, err := (&Planner{Capacity: 10, Spec: spec}).Plan(nil); err == nil {
+		t.Fatal("nil partitioner accepted")
+	}
+	pl := &Planner{Capacity: 0, Partitioner: reg.BettyBatch{}, Spec: spec}
+	if _, err := pl.Plan(nil); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestSafetyMarginRaisesK(t *testing.T) {
+	g := testGraph(t, 8, 2000, 30000)
+	full := sampleBatch(t, g, seedsRange(200), []int{10, 10})
+	spec := sageSpec(t, nn.Config{InDim: 64, Hidden: 64, OutDim: 8, Layers: 2, Aggregator: nn.Mean})
+	fullEst, _ := Estimate(full, spec)
+	capacity := fullEst.Peak() * 3 / 4
+
+	noMargin := &Planner{Capacity: capacity, Partitioner: reg.BettyBatch{Seed: 2}, Spec: spec}
+	withMargin := &Planner{Capacity: capacity, Partitioner: reg.BettyBatch{Seed: 2}, Spec: spec, SafetyMargin: 0.3}
+	p1, err := noMargin.Plan(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := withMargin.Plan(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.K < p1.K {
+		t.Fatalf("margin lowered K: %d < %d", p2.K, p1.K)
+	}
+}
+
+// Splitting reduces the max micro-batch estimate monotonically "in trend":
+// K=4 should estimate below K=1.
+func TestPartitioningReducesPeak(t *testing.T) {
+	g := testGraph(t, 9, 2000, 30000)
+	full := sampleBatch(t, g, seedsRange(128), []int{10, 10})
+	spec := sageSpec(t, nn.Config{InDim: 64, Hidden: 64, OutDim: 8, Layers: 2, Aggregator: nn.Mean})
+	pl := &Planner{Capacity: 1 << 40, Partitioner: reg.BettyBatch{Seed: 3}, Spec: spec}
+	p1, err := pl.EvaluateFixedK(full, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := pl.EvaluateFixedK(full, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.MaxPeak >= p1.MaxPeak {
+		t.Fatalf("K=4 peak %d not below K=1 peak %d", p4.MaxPeak, p1.MaxPeak)
+	}
+}
+
+func TestSpecFromModels(t *testing.T) {
+	r := rng.New(10)
+	sage, err := nn.NewGraphSAGE(nn.Config{InDim: 8, Hidden: 8, OutDim: 4, Layers: 2, Aggregator: nn.LSTM}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SpecFromSAGE(sage, nn.NewAdam(sage, 0.01))
+	if s.ParamsAgg == 0 || s.ParamsGNN == 0 || s.OptStatePerParam != 2 {
+		t.Fatalf("bad SAGE spec: %+v", s)
+	}
+	if s.ParamsGNN+s.ParamsAgg != nn.ParamCount(sage) {
+		t.Fatal("spec params do not sum to model params")
+	}
+	gat, err := nn.NewGAT(nn.Config{InDim: 8, Hidden: 8, OutDim: 4, Layers: 2, Heads: 2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := SpecFromGAT(gat, nn.NewSGD(gat, 0.01, 0))
+	if !gs.IsGAT || gs.OptStatePerParam != 0 {
+		t.Fatalf("bad GAT spec: %+v", gs)
+	}
+}

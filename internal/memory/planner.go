@@ -1,0 +1,143 @@
+package memory
+
+import (
+	"errors"
+	"fmt"
+
+	"betty/internal/graph"
+	"betty/internal/reg"
+)
+
+// ErrCannotFit is returned when no partition count up to MaxK brings the
+// largest micro-batch under the capacity.
+var ErrCannotFit = errors.New("memory: batch cannot fit capacity at any partition count")
+
+// Planner implements the memory-aware batch re-partitioning loop of
+// §4.4.3: K-way partition the batch, estimate every micro-batch, and try
+// (K+1)-way if the largest estimate violates the capacity constraint.
+type Planner struct {
+	// Capacity is the device memory budget in bytes.
+	Capacity int64
+	// Partitioner splits the batch's output nodes (Betty's REG
+	// partitioning in the paper, but any BatchPartitioner works).
+	Partitioner reg.BatchPartitioner
+	// Spec is the model description for estimation.
+	Spec Spec
+	// StartK is the first partition count tried (default 1).
+	StartK int
+	// MaxK caps the search (default: number of output nodes).
+	MaxK int
+	// SafetyMargin inflates estimates by this fraction to absorb
+	// estimation error (§6.7 discusses folding the error into planning);
+	// 0 means no margin.
+	SafetyMargin float64
+}
+
+// Plan is the planner's result: the chosen partition count, the output
+// groups, the sliced micro-batches, and their estimates.
+type Plan struct {
+	K         int
+	Groups    [][]int32
+	Micro     [][]*graph.Block
+	Estimates []Breakdown
+	// MaxPeak is the largest estimated micro-batch peak in bytes.
+	MaxPeak int64
+	// Attempts is how many partition counts were evaluated.
+	Attempts int
+}
+
+// Redundancy returns the duplicated input nodes versus the full batch.
+func (p *Plan) Redundancy(full []*graph.Block) int {
+	return graph.InputRedundancy(full, p.Micro)
+}
+
+// Plan searches for the smallest K (from StartK upward) whose largest
+// estimated micro-batch fits the capacity.
+func (pl *Planner) Plan(full []*graph.Block) (*Plan, error) {
+	if pl.Partitioner == nil {
+		return nil, fmt.Errorf("memory: planner needs a partitioner")
+	}
+	if pl.Capacity <= 0 {
+		return nil, fmt.Errorf("memory: capacity must be positive")
+	}
+	if len(full) == 0 {
+		return nil, fmt.Errorf("memory: empty batch")
+	}
+	last := full[len(full)-1]
+	startK := pl.StartK
+	if startK <= 0 {
+		startK = 1
+	}
+	maxK := pl.MaxK
+	if maxK <= 0 || maxK > last.NumDst {
+		maxK = last.NumDst
+	}
+	attempts := 0
+	for k := startK; k <= maxK; k++ {
+		attempts++
+		plan, err := pl.evaluate(full, k)
+		if err != nil {
+			return nil, err
+		}
+		plan.Attempts = attempts
+		margin := int64(float64(plan.MaxPeak) * pl.SafetyMargin)
+		if plan.MaxPeak+margin <= pl.Capacity {
+			return plan, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: capacity %d bytes, tried K=%d..%d",
+		ErrCannotFit, pl.Capacity, startK, maxK)
+}
+
+// evaluate partitions into exactly k micro-batches and estimates each.
+func (pl *Planner) evaluate(full []*graph.Block, k int) (*Plan, error) {
+	last := full[len(full)-1]
+	var groups [][]int32
+	if k == 1 {
+		all := make([]int32, last.NumDst)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		groups = [][]int32{all}
+	} else {
+		var err error
+		groups, err = pl.Partitioner.PartitionBatch(last, k)
+		if err != nil {
+			return nil, fmt.Errorf("memory: partitioning K=%d: %w", k, err)
+		}
+	}
+	plan := &Plan{K: k, Groups: groups}
+	for gi, sel := range groups {
+		micro, err := graph.SliceBatch(full, sel)
+		if err != nil {
+			return nil, fmt.Errorf("memory: slicing group %d: %w", gi, err)
+		}
+		est, err := Estimate(micro, pl.Spec)
+		if err != nil {
+			return nil, err
+		}
+		plan.Micro = append(plan.Micro, micro)
+		plan.Estimates = append(plan.Estimates, est)
+		if p := est.Peak(); p > plan.MaxPeak {
+			plan.MaxPeak = p
+		}
+	}
+	return plan, nil
+}
+
+// EvaluateFixedK returns the plan for an explicit partition count without
+// searching — used by experiments that sweep K directly.
+func (pl *Planner) EvaluateFixedK(full []*graph.Block, k int) (*Plan, error) {
+	if pl.Partitioner == nil {
+		return nil, fmt.Errorf("memory: planner needs a partitioner")
+	}
+	if len(full) == 0 {
+		return nil, fmt.Errorf("memory: empty batch")
+	}
+	plan, err := pl.evaluate(full, k)
+	if err != nil {
+		return nil, err
+	}
+	plan.Attempts = 1
+	return plan, nil
+}

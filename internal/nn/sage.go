@@ -1,0 +1,276 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+
+	"betty/internal/graph"
+	"betty/internal/rng"
+	"betty/internal/tensor"
+)
+
+// SAGEConv is one GraphSAGE layer: it aggregates neighbor features with the
+// configured Aggregator and combines them with the destination's own
+// features through a linear transform on the concatenation,
+// h'_v = W · [h_v ‖ AGG({h_u : u→v})] + b.
+type SAGEConv struct {
+	Agg Aggregator
+	// fc maps concat(self, agg) of width 2*in to out.
+	fc *Linear
+	// poolFC pre-transforms neighbor features for the Pool aggregator.
+	poolFC *Linear
+	// lstm is the recurrent aggregator cell (hidden = in, DGL convention).
+	lstm *LSTMCell
+	in   int
+	out  int
+}
+
+// NewSAGEConv returns a GraphSAGE layer mapping in features to out features.
+func NewSAGEConv(in, out int, agg Aggregator, r *rng.RNG) *SAGEConv {
+	c := &SAGEConv{Agg: agg, in: in, out: out, fc: NewLinear(2*in, out, r)}
+	switch agg {
+	case Pool:
+		c.poolFC = NewLinear(in, in, r)
+	case LSTM:
+		c.lstm = NewLSTMCell(in, in, r)
+	}
+	return c
+}
+
+// Params implements Module.
+func (c *SAGEConv) Params() []*tensor.Var {
+	ps := c.fc.Params()
+	if c.poolFC != nil {
+		ps = append(ps, c.poolFC.Params()...)
+	}
+	if c.lstm != nil {
+		ps = append(ps, c.lstm.Params()...)
+	}
+	return ps
+}
+
+// AggParams returns only the aggregator's parameters (NP_Agg in the
+// paper's memory-estimation notation, Table 3); nil for Mean and Sum.
+func (c *SAGEConv) AggParams() []*tensor.Var {
+	switch {
+	case c.poolFC != nil:
+		return c.poolFC.Params()
+	case c.lstm != nil:
+		return c.lstm.Params()
+	default:
+		return nil
+	}
+}
+
+// Forward computes the layer on block b. h holds source-node features
+// (b.NumSrc rows); the result has b.NumDst rows.
+func (c *SAGEConv) Forward(tp *tensor.Tape, b *graph.Block, h *tensor.Var) *tensor.Var {
+	if h.Value.Rows() != b.NumSrc {
+		panic(fmt.Sprintf("nn: SAGEConv got %d feature rows for %d sources", h.Value.Rows(), b.NumSrc))
+	}
+	self := tp.SliceRows(h, 0, b.NumDst)
+	agg := c.aggregate(tp, b, h)
+	return c.fc.Apply(tp, tp.ConcatCols(self, agg))
+}
+
+func (c *SAGEConv) aggregate(tp *tensor.Tape, b *graph.Block, h *tensor.Var) *tensor.Var {
+	src, dst := b.EdgePairs()
+	switch c.Agg {
+	case Sum:
+		return c.weightedSum(tp, b, h, src, dst)
+	case Mean:
+		// Equation 1: SUM(e_uv * h_u / D_v) — the weighted neighbor sum
+		// divided by the in-degree.
+		sum := c.weightedSum(tp, b, h, src, dst)
+		inv := make([]float32, b.NumDst)
+		for d := 0; d < b.NumDst; d++ {
+			if deg := b.InDegree(d); deg > 0 {
+				inv[d] = 1 / float32(deg)
+			}
+		}
+		return tp.RowScale(sum, inv)
+	case Pool:
+		pre := tp.ReLU(c.poolFC.Apply(tp, h))
+		msgs := tp.GatherRows(pre, src)
+		return tp.SegmentMax(msgs, dst, b.NumDst)
+	case LSTM:
+		return c.lstmAggregate(tp, b, h)
+	default:
+		panic(fmt.Sprintf("nn: unknown aggregator %v", c.Agg))
+	}
+}
+
+// weightedSum computes the per-destination sum of source rows, multiplied
+// by the block's edge weights when present (the e_uv factor of Table 1).
+// Unweighted blocks use the fused gather+segment-sum fast path.
+func (c *SAGEConv) weightedSum(tp *tensor.Tape, b *graph.Block, h *tensor.Var, src, dst []int32) *tensor.Var {
+	if b.EdgeWt == nil {
+		return tp.GatherSegmentSum(h, src, dst, b.NumDst)
+	}
+	w := tensor.FromSlice(len(b.EdgeWt), 1, append([]float32(nil), b.EdgeWt...))
+	msgs := tp.MulRowsVec(tp.GatherRows(h, src), tensor.Leaf(w))
+	return tp.SegmentSum(msgs, dst, b.NumDst)
+}
+
+// lstmAggregate runs the LSTM cell over each destination's neighbor
+// sequence using in-degree bucketing (§4.4.2): destinations with equal
+// in-degree form one NodeBatch so each timestep is a dense [B x F] slice.
+func (c *SAGEConv) lstmAggregate(tp *tensor.Tape, b *graph.Block, h *tensor.Var) *tensor.Var {
+	buckets := b.DegreeBuckets()
+	degrees := make([]int, 0, len(buckets))
+	for d := range buckets {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+
+	var pieces *tensor.Var
+	for _, deg := range degrees {
+		nodes := buckets[deg]
+		if deg == 0 {
+			continue // zero-degree destinations keep a zero aggregate
+		}
+		bsz := len(nodes)
+		hState := tensor.Leaf(tensor.New(bsz, c.in))
+		cState := tensor.Leaf(tensor.New(bsz, c.in))
+		var hv, cv *tensor.Var = hState, cState
+		for t := 0; t < deg; t++ {
+			idx := make([]int32, bsz)
+			for i, d := range nodes {
+				idx[i] = b.SrcLocal[b.Ptr[d]+int64(t)]
+			}
+			x := tp.GatherRows(h, idx)
+			hv, cv = c.lstm.Step(tp, x, hv, cv)
+		}
+		scattered := tp.ScatterRows(hv, nodes, b.NumDst)
+		if pieces == nil {
+			pieces = scattered
+		} else {
+			pieces = tp.Add(pieces, scattered)
+		}
+	}
+	if pieces == nil {
+		return tensor.Leaf(tensor.New(b.NumDst, c.in))
+	}
+	return pieces
+}
+
+// GraphSAGE is the multi-layer GraphSAGE model: one SAGEConv per block,
+// with ReLU between layers and raw logits at the output.
+type GraphSAGE struct {
+	Layers []*SAGEConv
+	cfg    Config
+}
+
+// Config describes a GNN model's architecture.
+type Config struct {
+	// InDim is the input feature dimension, Hidden the width of
+	// intermediate layers, OutDim the number of classes.
+	InDim, Hidden, OutDim int
+	// Layers is the number of graph convolution layers (== blocks consumed).
+	Layers int
+	// Aggregator selects the SAGE neighbor reduction (ignored by GAT).
+	Aggregator Aggregator
+	// Heads is the GAT attention head count (ignored by GraphSAGE).
+	Heads int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.InDim <= 0 || c.Hidden <= 0 || c.OutDim <= 0 {
+		return fmt.Errorf("nn: dimensions must be positive: %+v", c)
+	}
+	if c.Layers <= 0 {
+		return fmt.Errorf("nn: need at least one layer")
+	}
+	return nil
+}
+
+// LayerDims returns the (in, out) dimensions of layer l under cfg.
+func (c Config) LayerDims(l int) (in, out int) {
+	in = c.Hidden
+	if l == 0 {
+		in = c.InDim
+	}
+	out = c.Hidden
+	if l == c.Layers-1 {
+		out = c.OutDim
+	}
+	return in, out
+}
+
+// NewGraphSAGE builds a GraphSAGE model from cfg.
+func NewGraphSAGE(cfg Config, r *rng.RNG) (*GraphSAGE, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &GraphSAGE{cfg: cfg}
+	for l := 0; l < cfg.Layers; l++ {
+		in, out := cfg.LayerDims(l)
+		m.Layers = append(m.Layers, NewSAGEConv(in, out, cfg.Aggregator, r))
+	}
+	return m, nil
+}
+
+// Config returns the model's architecture description.
+func (m *GraphSAGE) Config() Config { return m.cfg }
+
+// Params implements Module.
+func (m *GraphSAGE) Params() []*tensor.Var {
+	var ps []*tensor.Var
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// AggParamCount counts aggregator-only parameters (NP_Agg, Table 3).
+func (m *GraphSAGE) AggParamCount() int {
+	total := 0
+	for _, l := range m.Layers {
+		for _, p := range l.AggParams() {
+			total += p.Value.Len()
+		}
+	}
+	return total
+}
+
+// Forward runs the model over an input-first block list; x holds the input
+// features of blocks[0].NumSrc source nodes. It returns logits for the last
+// block's destinations.
+func (m *GraphSAGE) Forward(tp *tensor.Tape, blocks []*graph.Block, x *tensor.Var) *tensor.Var {
+	if len(blocks) != len(m.Layers) {
+		panic(fmt.Sprintf("nn: model has %d layers but batch has %d blocks", len(m.Layers), len(blocks)))
+	}
+	h := x
+	for l, conv := range m.Layers {
+		h = conv.Forward(tp, blocks[l], h)
+		if l < len(m.Layers)-1 {
+			h = tp.ReLU(h)
+		}
+	}
+	return h
+}
+
+// Flops estimates the forward+backward floating point operations of one
+// pass over the batch, used by the simulated device's compute clock.
+// Backward is costed at 2x forward, the standard rule of thumb.
+func (m *GraphSAGE) Flops(blocks []*graph.Block) float64 {
+	var fwd float64
+	for l, conv := range m.Layers {
+		b := blocks[l]
+		e := float64(b.NumEdges())
+		nDst := float64(b.NumDst)
+		in, out := float64(conv.in), float64(conv.out)
+		switch conv.Agg {
+		case Mean, Sum:
+			fwd += e * in // segment reduction
+		case Pool:
+			fwd += 2*float64(b.NumSrc)*in*in + e*in // pre-transform + max
+		case LSTM:
+			// per edge (node-timestep): 8 gate matmuls of in x in
+			fwd += e * (8 * in * in)
+		}
+		fwd += 2 * nDst * (2 * in) * out // the combining linear layer
+	}
+	return 3 * fwd // forward + ~2x backward
+}

@@ -1,0 +1,161 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"betty/internal/rng"
+)
+
+func TestRBRingBisection(t *testing.T) {
+	g := ring(t, 64)
+	parts, err := (&RecursiveBisection{Seed: 1}).Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidPartition(t, parts, 64, 2)
+	if cut := EdgeCut(g, parts); cut > 6 {
+		t.Fatalf("ring cut %v too large (optimal 2)", cut)
+	}
+}
+
+func TestRBFindsClusters(t *testing.T) {
+	g := clusters(t, 4, 20, 7)
+	parts, err := (&RecursiveBisection{Seed: 2}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidPartition(t, parts, 80, 4)
+	if cut := EdgeCut(g, parts); cut > 30 {
+		t.Fatalf("cluster cut %v; RB failed to find community structure", cut)
+	}
+}
+
+func TestRBNonPowerOfTwo(t *testing.T) {
+	g := clusters(t, 5, 16, 8)
+	for _, k := range []int{3, 5, 7} {
+		parts, err := (&RecursiveBisection{Seed: 3}).Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValidPartition(t, parts, 80, k)
+		if b := Balance(g, parts, k); b > 1.6 {
+			t.Fatalf("k=%d balance %v too loose for RB", k, b)
+		}
+	}
+}
+
+func TestRBSinglePartAndValidation(t *testing.T) {
+	g := ring(t, 8)
+	parts, err := (&RecursiveBisection{}).Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		if p != 0 {
+			t.Fatal("k=1 must be all zeros")
+		}
+	}
+	if _, err := (&RecursiveBisection{}).Partition(g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := (&RecursiveBisection{}).Partition(g, 99); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestRBDeterminism(t *testing.T) {
+	g := clusters(t, 4, 15, 9)
+	a, err := (&RecursiveBisection{Seed: 11}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&RecursiveBisection{Seed: 11}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RB not deterministic for fixed seed")
+		}
+	}
+}
+
+// Property: RB partitions are valid for random graphs and k.
+func TestRBValidProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(100)
+		m := r.Intn(5 * n)
+		u := make([]int32, m)
+		v := make([]int32, m)
+		w := make([]float32, m)
+		for i := range u {
+			u[i] = r.Int31n(int32(n))
+			v[i] = r.Int31n(int32(n))
+			w[i] = 1
+		}
+		g, err := NewWeightedGraph(n, u, v, w, nil)
+		if err != nil {
+			return false
+		}
+		k := 2 + r.Intn(6)
+		if k > n {
+			k = n
+		}
+		parts, err := (&RecursiveBisection{Seed: seed}).Partition(g, k)
+		if err != nil {
+			return false
+		}
+		sizes := Sizes(parts, k)
+		total := 0
+		for _, s := range sizes {
+			if s == 0 {
+				return false
+			}
+			total += s
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := ring(t, 6) // 0-1-2-3-4-5-0
+	sub, back := g.Subgraph([]int32{1, 2, 3})
+	if sub.N != 3 {
+		t.Fatalf("sub has %d nodes", sub.N)
+	}
+	if back[0] != 1 || back[2] != 3 {
+		t.Fatalf("back map %v", back)
+	}
+	// edges inside subset: 1-2, 2-3; node 0's edges to 1 excluded
+	adj, _ := sub.Neighbors(0) // new id 0 = old 1
+	if len(adj) != 1 || adj[0] != 1 {
+		t.Fatalf("sub adjacency of old node 1: %v", adj)
+	}
+	adj, _ = sub.Neighbors(1) // old 2 connects to old 1 and old 3
+	if len(adj) != 2 {
+		t.Fatalf("sub adjacency of old node 2: %v", adj)
+	}
+}
+
+// RB and direct K-way should land in the same cut class on clustered
+// inputs; neither should be catastrophically worse.
+func TestRBComparableToKway(t *testing.T) {
+	g := clusters(t, 8, 16, 10)
+	rb, err := (&RecursiveBisection{Seed: 4}).Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw, err := (&Metis{Seed: 4}).Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutRB, cutKW := EdgeCut(g, rb), EdgeCut(g, kw)
+	if cutRB > 4*cutKW+20 {
+		t.Fatalf("RB cut %v catastrophically worse than k-way %v", cutRB, cutKW)
+	}
+}

@@ -1,0 +1,106 @@
+package reg
+
+import (
+	"fmt"
+	"sort"
+
+	"betty/internal/graph"
+	"betty/internal/partition"
+)
+
+// BuildREGFast constructs the same redundancy-embedded graph as BuildREG
+// without materializing the sparse adjacency or its Gram product — the
+// REG-construction optimization the paper lists as future work.
+//
+// It exploits that c_ij = Σ_k a_ki·a_kj only receives contributions from
+// pairs of destinations fed by the same source: for every source it walks
+// the source's (deduplicated, multiplicity-counted) destination list once
+// and emits one weighted pair per destination combination, then sorts and
+// merges the pair stream. Non-output columns never enter the stream, so the
+// restriction and self-loop removal of Algorithm 1 lines 5-7 are free.
+func BuildREGFast(last *graph.Block) (*partition.WeightedGraph, error) {
+	if err := last.Validate(); err != nil {
+		return nil, fmt.Errorf("reg: invalid block: %w", err)
+	}
+	nDst := last.NumDst
+
+	// Bucket the block's edges by source: srcPtr/srcDst is a CSR over the
+	// homogeneous source space listing each source's destinations.
+	nSrc := last.NumSrc
+	counts := make([]int32, nSrc+1)
+	for _, s := range last.SrcLocal {
+		counts[s+1]++
+	}
+	for i := 0; i < nSrc; i++ {
+		counts[i+1] += counts[i]
+	}
+	srcDst := make([]int32, len(last.SrcLocal))
+	cursor := make([]int32, nSrc)
+	copy(cursor, counts[:nSrc])
+	for d := 0; d < nDst; d++ {
+		for p := last.Ptr[d]; p < last.Ptr[d+1]; p++ {
+			s := last.SrcLocal[p]
+			srcDst[cursor[s]] = int32(d)
+			cursor[s] = cursor[s] + 1
+		}
+	}
+
+	// Emit weighted destination pairs per source. Parallel edges give a
+	// source multiplicity m_ki toward destination i; the Gram contribution
+	// of source k to pair (i, j) is m_ki * m_kj, matching AᵀA exactly.
+	type wpair struct {
+		a, b int32
+		w    float32
+	}
+	var pairs []wpair
+	scratch := make([]int32, 0, 64) // distinct destinations of one source
+	mult := make([]float32, nDst)   // multiplicity accumulator
+	for s := 0; s < nSrc; s++ {
+		lo, hi := counts[s], counts[s+1]
+		if hi-lo < 2 {
+			continue
+		}
+		scratch = scratch[:0]
+		for p := lo; p < hi; p++ {
+			d := srcDst[p]
+			if mult[d] == 0 {
+				scratch = append(scratch, d)
+			}
+			mult[d]++
+		}
+		for i := 0; i < len(scratch); i++ {
+			for j := i + 1; j < len(scratch); j++ {
+				a, b := scratch[i], scratch[j]
+				if a > b {
+					a, b = b, a
+				}
+				pairs = append(pairs, wpair{a, b, mult[scratch[i]] * mult[scratch[j]]})
+			}
+		}
+		for _, d := range scratch {
+			mult[d] = 0
+		}
+	}
+
+	// Sort and merge the pair stream, then hand the edge list to the
+	// partitioner's graph builder.
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	u := make([]int32, 0, len(pairs))
+	v := make([]int32, 0, len(pairs))
+	w := make([]float32, 0, len(pairs))
+	for _, p := range pairs {
+		if n := len(u); n > 0 && u[n-1] == p.a && v[n-1] == p.b {
+			w[n-1] += p.w
+		} else {
+			u = append(u, p.a)
+			v = append(v, p.b)
+			w = append(w, p.w)
+		}
+	}
+	return partition.NewWeightedGraph(nDst, u, v, w, nil)
+}

@@ -1,0 +1,227 @@
+// Package reg implements Betty's redundancy-embedded graph (REG)
+// construction and the batch-level partitioning algorithms compared in the
+// paper (Algorithm 1 and §6.1): given the output (last) layer's bipartite
+// block of a GNN batch, each BatchPartitioner splits the output nodes into
+// K groups from which micro-batches are built.
+//
+// The REG is the Gram matrix C = AᵀA of the block's adjacency: entry
+// c_ij counts the in-neighbors shared by output nodes i and j, so a K-way
+// min-edge-cut partition of the REG minimizes the input-node redundancy
+// created when the batch is split (§4.3.2).
+package reg
+
+import (
+	"fmt"
+
+	"betty/internal/graph"
+	"betty/internal/partition"
+	"betty/internal/rng"
+	"betty/internal/sparse"
+)
+
+// BuildREG constructs the redundancy-embedded graph of a last-layer block,
+// following Algorithm 1 lines 1-7: adjacency A over the block's homogeneous
+// node space, C = AᵀA, restriction to output (destination) nodes, and
+// self-loop removal. The result has one node per block destination; edge
+// weights count shared in-neighbors.
+func BuildREG(last *graph.Block) (*partition.WeightedGraph, error) {
+	if err := last.Validate(); err != nil {
+		return nil, fmt.Errorf("reg: invalid block: %w", err)
+	}
+	n := last.NumSrc // homogeneous node space: sources (destinations are a prefix)
+	srcIdx, dstIdx := last.EdgePairs()
+	// A[k][i] = 1 iff edge k -> i; rows are sources, cols are destinations
+	// in the same local space.
+	a, err := sparse.NewCOO(n, n, srcIdx, dstIdx, nil)
+	if err != nil {
+		return nil, fmt.Errorf("reg: adjacency: %w", err)
+	}
+	c := a.Gram() // c_ij = number of shared in-neighbors of i and j
+
+	// Remove non-output nodes (keep destinations 0..NumDst-1), then self loops.
+	keep := make([]int32, last.NumDst)
+	for i := range keep {
+		keep[i] = int32(i)
+	}
+	c, err = c.SelectSquare(keep)
+	if err != nil {
+		return nil, fmt.Errorf("reg: restrict to outputs: %w", err)
+	}
+	c = c.DropSelfLoops()
+
+	// Convert to the partitioner's undirected weighted-graph format.
+	// C is symmetric; NewWeightedGraph sums both triangle copies, so halve.
+	u := make([]int32, 0, c.NNZ())
+	v := make([]int32, 0, c.NNZ())
+	w := make([]float32, 0, c.NNZ())
+	for i := 0; i < c.NumRows; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			j := c.ColIdx[p]
+			if int32(i) < j { // take the upper triangle once
+				u = append(u, int32(i))
+				v = append(v, j)
+				w = append(w, c.Val[p])
+			}
+		}
+	}
+	return partition.NewWeightedGraph(last.NumDst, u, v, w, nil)
+}
+
+// BatchPartitioner splits a batch's output nodes into K groups. The
+// returned groups hold *local destination indices* of the last-layer block;
+// every group is non-empty and the groups partition [0, NumDst).
+type BatchPartitioner interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// PartitionBatch returns K disjoint, covering groups of local output
+	// indices of the block.
+	PartitionBatch(last *graph.Block, k int) ([][]int32, error)
+}
+
+// groupsFromParts converts a per-node part assignment into index groups and
+// checks none is empty.
+func groupsFromParts(parts []int32, k int) ([][]int32, error) {
+	groups := make([][]int32, k)
+	for i, p := range parts {
+		groups[p] = append(groups[p], int32(i))
+	}
+	for p, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("reg: partition produced empty group %d", p)
+		}
+	}
+	return groups, nil
+}
+
+func validateBatchK(last *graph.Block, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("reg: k must be positive, got %d", k)
+	}
+	if k > last.NumDst {
+		return fmt.Errorf("reg: k=%d exceeds %d output nodes", k, last.NumDst)
+	}
+	return nil
+}
+
+// RangeBatch splits output nodes into contiguous local-index ranges.
+type RangeBatch struct{}
+
+// Name implements BatchPartitioner.
+func (RangeBatch) Name() string { return "range" }
+
+// PartitionBatch implements BatchPartitioner.
+func (RangeBatch) PartitionBatch(last *graph.Block, k int) ([][]int32, error) {
+	if err := validateBatchK(last, k); err != nil {
+		return nil, err
+	}
+	n := last.NumDst
+	groups := make([][]int32, k)
+	for i := 0; i < n; i++ {
+		p := i * k / n
+		groups[p] = append(groups[p], int32(i))
+	}
+	return groups, nil
+}
+
+// RandomBatch splits output nodes into equal-size random groups.
+type RandomBatch struct {
+	// Seed makes the split reproducible.
+	Seed uint64
+}
+
+// Name implements BatchPartitioner.
+func (RandomBatch) Name() string { return "random" }
+
+// PartitionBatch implements BatchPartitioner.
+func (p RandomBatch) PartitionBatch(last *graph.Block, k int) ([][]int32, error) {
+	if err := validateBatchK(last, k); err != nil {
+		return nil, err
+	}
+	n := last.NumDst
+	perm := rng.New(p.Seed).Perm(n)
+	groups := make([][]int32, k)
+	for pos, node := range perm {
+		g := pos * k / n
+		groups[g] = append(groups[g], node)
+	}
+	return groups, nil
+}
+
+// MetisBatch is the redundancy-unaware METIS baseline: it partitions the
+// graph induced on output nodes by the *direct* edges of the block (an
+// output that is also another output's sampled neighbor), with unit edge
+// weights. Unlike Betty it does not see shared-neighbor redundancy.
+type MetisBatch struct {
+	// Seed drives the multilevel partitioner's randomized phases.
+	Seed uint64
+}
+
+// Name implements BatchPartitioner.
+func (MetisBatch) Name() string { return "metis" }
+
+// PartitionBatch implements BatchPartitioner.
+func (p MetisBatch) PartitionBatch(last *graph.Block, k int) ([][]int32, error) {
+	if err := validateBatchK(last, k); err != nil {
+		return nil, err
+	}
+	var uu, vv []int32
+	var ww []float32
+	for d := 0; d < last.NumDst; d++ {
+		for q := last.Ptr[d]; q < last.Ptr[d+1]; q++ {
+			s := last.SrcLocal[q]
+			if int(s) < last.NumDst && int(s) != d { // edge between two outputs
+				uu = append(uu, s)
+				vv = append(vv, int32(d))
+				ww = append(ww, 1)
+			}
+		}
+	}
+	g, err := partition.NewWeightedGraph(last.NumDst, uu, vv, ww, nil)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := (&partition.Metis{Seed: p.Seed}).Partition(g, k)
+	if err != nil {
+		return nil, err
+	}
+	return groupsFromParts(parts, k)
+}
+
+// BettyBatch is the paper's REG partitioning (Algorithm 1): build the
+// redundancy-embedded graph and min-cut partition it with the multilevel
+// partitioner, so output nodes sharing many neighbors stay together.
+//
+// By default it uses the pair-streaming REG construction (BuildREGFast,
+// property-tested equal to the SpGEMM reference); set Reference to force
+// the Algorithm-1-literal sparse-product path.
+type BettyBatch struct {
+	// Seed drives the multilevel partitioner's randomized phases.
+	Seed uint64
+	// Imbalance overrides the partitioner's balance tolerance (0 = default).
+	Imbalance float64
+	// Reference selects the literal AᵀA SpGEMM construction.
+	Reference bool
+}
+
+// Name implements BatchPartitioner.
+func (BettyBatch) Name() string { return "betty" }
+
+// PartitionBatch implements BatchPartitioner.
+func (p BettyBatch) PartitionBatch(last *graph.Block, k int) ([][]int32, error) {
+	if err := validateBatchK(last, k); err != nil {
+		return nil, err
+	}
+	build := BuildREGFast
+	if p.Reference {
+		build = BuildREG
+	}
+	g, err := build(last)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := (&partition.Metis{Seed: p.Seed, Imbalance: p.Imbalance}).Partition(g, k)
+	if err != nil {
+		return nil, err
+	}
+	return groupsFromParts(parts, k)
+}

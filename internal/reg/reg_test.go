@@ -1,0 +1,305 @@
+package reg
+
+import (
+	"testing"
+
+	"betty/internal/graph"
+	"betty/internal/partition"
+	"betty/internal/rng"
+)
+
+// makeBlock builds a last-layer block by hand: dstNIDs are the output nodes
+// and neigh[i] lists the global IDs of output i's sampled in-neighbors.
+func makeBlock(t *testing.T, dstNIDs []int32, neigh [][]int32) *graph.Block {
+	t.Helper()
+	local := make(map[int32]int32, len(dstNIDs)*2)
+	srcNID := append([]int32(nil), dstNIDs...)
+	for i, v := range dstNIDs {
+		local[v] = int32(i)
+	}
+	b := &graph.Block{
+		NumDst: len(dstNIDs),
+		DstNID: append([]int32(nil), dstNIDs...),
+		Ptr:    make([]int64, 1, len(dstNIDs)+1),
+	}
+	for _, ns := range neigh {
+		for _, u := range ns {
+			li, ok := local[u]
+			if !ok {
+				li = int32(len(srcNID))
+				local[u] = li
+				srcNID = append(srcNID, u)
+			}
+			b.SrcLocal = append(b.SrcLocal, li)
+			b.EID = append(b.EID, -1)
+		}
+		b.Ptr = append(b.Ptr, int64(len(b.SrcLocal)))
+	}
+	b.SrcNID = srcNID
+	b.NumSrc = len(srcNID)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// inputNodes returns the distinct global node IDs a group of outputs needs
+// loaded (the group's sources plus the outputs themselves).
+func inputNodes(b *graph.Block, group []int32) map[int32]bool {
+	set := make(map[int32]bool)
+	for _, d := range group {
+		set[b.DstNID[d]] = true
+		for p := b.Ptr[d]; p < b.Ptr[d+1]; p++ {
+			set[b.SrcNID[b.SrcLocal[p]]] = true
+		}
+	}
+	return set
+}
+
+// redundancy counts duplicated input nodes across groups versus the
+// unpartitioned batch.
+func redundancy(b *graph.Block, groups [][]int32) int {
+	full := make(map[int32]bool)
+	total := 0
+	for _, g := range groups {
+		in := inputNodes(b, g)
+		total += len(in)
+		for v := range in {
+			full[v] = true
+		}
+	}
+	return total - len(full)
+}
+
+func TestBuildREGCountsSharedNeighbors(t *testing.T) {
+	// outputs 1 and 8 share neighbors {5, 6}; output 1 also has {3, 7}.
+	b := makeBlock(t, []int32{1, 8}, [][]int32{
+		{3, 5, 6, 7},
+		{5, 6, 9},
+	})
+	g, err := BuildREG(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2 {
+		t.Fatalf("REG has %d nodes, want 2", g.N)
+	}
+	adj, ewt := g.Neighbors(0)
+	if len(adj) != 1 || adj[0] != 1 {
+		t.Fatalf("REG adjacency wrong: %v", adj)
+	}
+	if ewt[0] != 2 {
+		t.Fatalf("REG weight %v, want 2 shared neighbors", ewt[0])
+	}
+}
+
+func TestBuildREGNoSharing(t *testing.T) {
+	b := makeBlock(t, []int32{0, 1}, [][]int32{
+		{10, 11},
+		{12, 13},
+	})
+	g, err := BuildREG(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < int32(g.N); v++ {
+		if adj, _ := g.Neighbors(v); len(adj) != 0 {
+			t.Fatalf("disjoint neighborhoods should give an empty REG, got %v", adj)
+		}
+	}
+}
+
+// An output that is itself another output's neighbor contributes shared-
+// neighbor counts like any other source node.
+func TestBuildREGOutputAsNeighbor(t *testing.T) {
+	// output 0's neighbors: {1, 5}; output 1's neighbors: {5, 6};
+	// output 2's neighbors: {1, 5}. Shares: (0,1)={5}, (0,2)={1,5}, (1,2)={5}.
+	b := makeBlock(t, []int32{0, 1, 2}, [][]int32{
+		{1, 5},
+		{5, 6},
+		{1, 5},
+	})
+	g, err := BuildREG(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(a, c int32) float32 {
+		adj, ewt := g.Neighbors(a)
+		for i, u := range adj {
+			if u == c {
+				return ewt[i]
+			}
+		}
+		return 0
+	}
+	if get(0, 1) != 1 || get(0, 2) != 2 || get(1, 2) != 1 {
+		t.Fatalf("REG weights: (0,1)=%v (0,2)=%v (1,2)=%v", get(0, 1), get(0, 2), get(1, 2))
+	}
+}
+
+// twoCommunityBlock builds a block whose outputs form two groups, each
+// sampling neighbors from its own shared pool — the structure where REG
+// partitioning should recover zero extra redundancy.
+func twoCommunityBlock(t *testing.T, perSide, fanout int) *graph.Block {
+	t.Helper()
+	r := rng.New(99)
+	n := 2 * perSide
+	dst := make([]int32, n)
+	for i := range dst {
+		dst[i] = int32(i)
+	}
+	neigh := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		poolBase := int32(1000)
+		if i >= perSide {
+			poolBase = 2000
+		}
+		seen := map[int32]bool{}
+		for len(seen) < fanout {
+			seen[poolBase+r.Int31n(int32(fanout*2))] = true
+		}
+		for v := range seen {
+			neigh[i] = append(neigh[i], v)
+		}
+	}
+	return makeBlock(t, dst, neigh)
+}
+
+func TestBettyBeatsBaselinesOnRedundancy(t *testing.T) {
+	b := twoCommunityBlock(t, 24, 8)
+	k := 2
+	betty, err := BettyBatch{Seed: 1}.PartitionBatch(b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomBatch{Seed: 1}.PartitionBatch(b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, rr := redundancy(b, betty), redundancy(b, random)
+	if rb >= rr {
+		t.Fatalf("betty redundancy %d not lower than random %d", rb, rr)
+	}
+	// with perfectly separable communities Betty should find a near-zero cut
+	if rb > rr/4 {
+		t.Fatalf("betty redundancy %d too high vs random %d on separable communities", rb, rr)
+	}
+}
+
+func TestAllBatchPartitionersCoverOutputs(t *testing.T) {
+	b := twoCommunityBlock(t, 10, 5)
+	ps := []BatchPartitioner{RangeBatch{}, RandomBatch{Seed: 2}, MetisBatch{Seed: 2}, BettyBatch{Seed: 2}}
+	for _, p := range ps {
+		for _, k := range []int{1, 2, 3, 5} {
+			groups, err := p.PartitionBatch(b, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", p.Name(), k, err)
+			}
+			if len(groups) != k {
+				t.Fatalf("%s produced %d groups, want %d", p.Name(), len(groups), k)
+			}
+			seen := make(map[int32]bool)
+			for gi, g := range groups {
+				if len(g) == 0 {
+					t.Fatalf("%s k=%d group %d empty", p.Name(), k, gi)
+				}
+				for _, d := range g {
+					if d < 0 || int(d) >= b.NumDst {
+						t.Fatalf("%s: index %d out of range", p.Name(), d)
+					}
+					if seen[d] {
+						t.Fatalf("%s: output %d in two groups", p.Name(), d)
+					}
+					seen[d] = true
+				}
+			}
+			if len(seen) != b.NumDst {
+				t.Fatalf("%s k=%d covers %d of %d outputs", p.Name(), k, len(seen), b.NumDst)
+			}
+		}
+	}
+}
+
+func TestBatchPartitionersRejectBadK(t *testing.T) {
+	b := twoCommunityBlock(t, 4, 3)
+	ps := []BatchPartitioner{RangeBatch{}, RandomBatch{}, MetisBatch{}, BettyBatch{}}
+	for _, p := range ps {
+		if _, err := p.PartitionBatch(b, 0); err == nil {
+			t.Fatalf("%s accepted k=0", p.Name())
+		}
+		if _, err := p.PartitionBatch(b, b.NumDst+1); err == nil {
+			t.Fatalf("%s accepted k > outputs", p.Name())
+		}
+	}
+}
+
+func TestRangeBatchIsContiguous(t *testing.T) {
+	b := twoCommunityBlock(t, 8, 3)
+	groups, err := RangeBatch{}.PartitionBatch(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := int32(0)
+	for _, g := range groups {
+		for _, d := range g {
+			if d != next {
+				t.Fatalf("range batch not contiguous at %d", d)
+			}
+			next++
+		}
+	}
+}
+
+func TestBettyDeterminism(t *testing.T) {
+	b := twoCommunityBlock(t, 16, 6)
+	a1, err := BettyBatch{Seed: 5}.PartitionBatch(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := BettyBatch{Seed: 5}.PartitionBatch(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if len(a1[i]) != len(a2[i]) {
+			t.Fatal("betty partitioning not deterministic")
+		}
+		for j := range a1[i] {
+			if a1[i][j] != a2[i][j] {
+				t.Fatal("betty partitioning not deterministic")
+			}
+		}
+	}
+}
+
+// Betty's REG objective: the edge cut of the chosen partition on the REG
+// should be no worse than a random partition's cut.
+func TestBettyCutBeatsRandomCut(t *testing.T) {
+	b := twoCommunityBlock(t, 20, 8)
+	regGraph, err := BuildREG(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := BettyBatch{Seed: 3}.PartitionBatch(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toParts := func(gs [][]int32) []int32 {
+		parts := make([]int32, b.NumDst)
+		for pi, g := range gs {
+			for _, d := range g {
+				parts[d] = int32(pi)
+			}
+		}
+		return parts
+	}
+	rgroups, err := RandomBatch{Seed: 3}.PartitionBatch(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcut := partition.EdgeCut(regGraph, toParts(groups))
+	rcut := partition.EdgeCut(regGraph, toParts(rgroups))
+	if bcut > rcut {
+		t.Fatalf("betty REG cut %v worse than random %v", bcut, rcut)
+	}
+}

@@ -1,0 +1,193 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := true
+	a2 := New(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestInt31n(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 1000; i++ {
+		v := r.Int31n(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Int31n out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 1000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %v", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(5)
+	const n = 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance %v", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%50)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(6)
+	s := []int32{1, 1, 2, 3, 5, 8, 13}
+	sum := int32(0)
+	for _, v := range s {
+		sum += v
+	}
+	r.ShuffleInt32(s)
+	var sum2 int32
+	for _, v := range s {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatal("shuffle changed contents")
+	}
+}
+
+func TestShuffleFunc(t *testing.T) {
+	r := New(7)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := make([]bool, len(s))
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("element %d lost in shuffle", i)
+		}
+	}
+}
+
+func TestExpPositiveWithUnitMean(t *testing.T) {
+	r := New(8)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp()
+		if v < 0 {
+			t.Fatal("Exp returned negative")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Fatalf("Exp mean %v", mean)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(2, 2.5)
+		if v < 2 {
+			t.Fatalf("Pareto below minimum: %v", v)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(10)
+	s := r.Split()
+	// drawing from the split must not perturb the parent relative to a
+	// parent that split but never used the child
+	r2 := New(10)
+	s2 := r2.Split()
+	_ = s2
+	for i := 0; i < 10; i++ {
+		s.Uint64()
+	}
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != r2.Uint64() {
+			t.Fatal("child draws perturbed the parent stream")
+		}
+	}
+}

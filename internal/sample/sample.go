@@ -1,0 +1,157 @@
+// Package sample implements fanout-bounded neighbor sampling, producing the
+// hierarchical bipartite batch structure (a list of graph.Blocks) that GNN
+// mini-batch training consumes — the role of DGL's
+// MultiLayerNeighborSampler + to_block in the original Betty implementation.
+package sample
+
+import (
+	"fmt"
+
+	"betty/internal/graph"
+	"betty/internal/rng"
+)
+
+// FullNeighbors as a fanout selects every in-neighbor (no sampling bound).
+const FullNeighbors = -1
+
+// Sampler draws fanout-bounded multi-layer neighborhoods. Fanouts are
+// ordered input-layer first, matching the (10, 25, ...) tuples in the paper:
+// Fanouts[len-1] bounds the neighbors of the seed (output) nodes, and
+// Fanouts[0] bounds the outermost (input) layer.
+type Sampler struct {
+	fanouts []int
+	replace bool
+	r       *rng.RNG
+}
+
+// New returns a sampler with the given input-first fanouts and RNG seed.
+// A fanout of FullNeighbors (-1) disables the bound for that layer.
+func New(fanouts []int, seed uint64) *Sampler {
+	return &Sampler{fanouts: append([]int(nil), fanouts...), r: rng.New(seed)}
+}
+
+// NewWithReplacement returns a sampler that samples neighbors with
+// replacement, as DGL does when fanout exceeds available neighbors.
+func NewWithReplacement(fanouts []int, seed uint64) *Sampler {
+	s := New(fanouts, seed)
+	s.replace = true
+	return s
+}
+
+// NumLayers returns the number of block layers the sampler produces.
+func (s *Sampler) NumLayers() int { return len(s.fanouts) }
+
+// Fanouts returns a copy of the configured fanouts, input-first.
+func (s *Sampler) Fanouts() []int { return append([]int(nil), s.fanouts...) }
+
+// Sample draws the multi-level bipartite neighborhood of seeds in g.
+// The returned blocks are ordered input-layer first; the last block's
+// DstNID equals seeds.
+func (s *Sampler) Sample(g *graph.Graph, seeds []int32) ([]*graph.Block, error) {
+	if len(s.fanouts) == 0 {
+		return nil, fmt.Errorf("sample: no fanouts configured")
+	}
+	for _, v := range seeds {
+		if v < 0 || v >= g.NumNodes() {
+			return nil, fmt.Errorf("sample: seed %d out of range", v)
+		}
+	}
+	blocks := make([]*graph.Block, len(s.fanouts))
+	frontier := append([]int32(nil), seeds...)
+	for l := len(s.fanouts) - 1; l >= 0; l-- {
+		b := s.sampleLayer(g, frontier, s.fanouts[l])
+		blocks[l] = b
+		frontier = b.SrcNID
+	}
+	return blocks, nil
+}
+
+// sampleLayer builds one bipartite block: for every destination in frontier
+// it draws up to fanout in-neighbors from g.
+func (s *Sampler) sampleLayer(g *graph.Graph, frontier []int32, fanout int) *graph.Block {
+	nDst := len(frontier)
+	local := make(map[int32]int32, nDst*2)
+	srcNID := make([]int32, nDst, nDst*2)
+	copy(srcNID, frontier)
+	for i, v := range frontier {
+		local[v] = int32(i)
+	}
+
+	ptr := make([]int64, nDst+1)
+	var srcLocal, eid []int32
+	scratchSrc := make([]int32, 0, 64)
+	scratchEID := make([]int32, 0, 64)
+
+	for d := 0; d < nDst; d++ {
+		neigh, eids := g.InNeighbors(frontier[d])
+		chosenSrc, chosenEID := s.choose(neigh, eids, fanout, scratchSrc, scratchEID)
+		for i, u := range chosenSrc {
+			li, ok := local[u]
+			if !ok {
+				li = int32(len(srcNID))
+				local[u] = li
+				srcNID = append(srcNID, u)
+			}
+			srcLocal = append(srcLocal, li)
+			eid = append(eid, chosenEID[i])
+		}
+		ptr[d+1] = int64(len(srcLocal))
+	}
+
+	b := &graph.Block{
+		NumSrc:   len(srcNID),
+		NumDst:   nDst,
+		Ptr:      ptr,
+		SrcLocal: srcLocal,
+		EID:      eid,
+		SrcNID:   srcNID,
+		DstNID:   append([]int32(nil), frontier...),
+	}
+	if g.HasWeights() {
+		b.EdgeWt = make([]float32, len(eid))
+		for i, e := range eid {
+			b.EdgeWt[i] = g.EdgeWeight(e)
+		}
+	}
+	return b
+}
+
+// choose selects up to fanout entries of neigh/eids. With fanout disabled or
+// enough capacity it returns the inputs unchanged; otherwise it reservoir-
+// samples without replacement (or draws uniformly with replacement).
+func (s *Sampler) choose(neigh, eids []int32, fanout int, scratchSrc, scratchEID []int32) ([]int32, []int32) {
+	if fanout == FullNeighbors || len(neigh) <= fanout {
+		return neigh, eids
+	}
+	scratchSrc = scratchSrc[:0]
+	scratchEID = scratchEID[:0]
+	if s.replace {
+		for i := 0; i < fanout; i++ {
+			j := s.r.Intn(len(neigh))
+			scratchSrc = append(scratchSrc, neigh[j])
+			scratchEID = append(scratchEID, eids[j])
+		}
+		return scratchSrc, scratchEID
+	}
+	// Reservoir sampling (Algorithm R): uniform without replacement.
+	scratchSrc = append(scratchSrc, neigh[:fanout]...)
+	scratchEID = append(scratchEID, eids[:fanout]...)
+	for i := fanout; i < len(neigh); i++ {
+		j := s.r.Intn(i + 1)
+		if j < fanout {
+			scratchSrc[j] = neigh[i]
+			scratchEID[j] = eids[i]
+		}
+	}
+	return scratchSrc, scratchEID
+}
+
+// SampleFull draws the complete (unsampled) numLayers-hop neighborhood of
+// seeds — the full-batch structure used as the partitioning input in Betty.
+func SampleFull(g *graph.Graph, seeds []int32, numLayers int) ([]*graph.Block, error) {
+	fanouts := make([]int, numLayers)
+	for i := range fanouts {
+		fanouts[i] = FullNeighbors
+	}
+	return New(fanouts, 0).Sample(g, seeds)
+}

@@ -1,0 +1,298 @@
+package sample
+
+import (
+	"testing"
+	"testing/quick"
+
+	"betty/internal/graph"
+	"betty/internal/rng"
+)
+
+// star builds a graph where node 0 has in-edges from nodes 1..n-1.
+func star(t *testing.T, n int32) *graph.Graph {
+	t.Helper()
+	src := make([]int32, 0, n-1)
+	dst := make([]int32, 0, n-1)
+	for v := int32(1); v < n; v++ {
+		src = append(src, v)
+		dst = append(dst, 0)
+	}
+	g, err := graph.FromEdges(n, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// randomGraph builds a reproducible random directed graph.
+func randomGraph(t *testing.T, seed uint64, n int32, m int) *graph.Graph {
+	t.Helper()
+	r := rng.New(seed)
+	src := make([]int32, m)
+	dst := make([]int32, m)
+	for i := range src {
+		src[i] = r.Int31n(n)
+		dst[i] = r.Int31n(n)
+	}
+	g, err := graph.FromEdges(n, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSampleFanoutBound(t *testing.T) {
+	g := star(t, 50)
+	s := New([]int{10}, 1)
+	blocks, err := s.Sample(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("expected 1 block, got %d", len(blocks))
+	}
+	b := blocks[0]
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.InDegree(0) != 10 {
+		t.Fatalf("fanout not respected: degree %d", b.InDegree(0))
+	}
+	// sampled without replacement: all sources distinct
+	seen := map[int32]bool{}
+	for _, s := range b.SrcLocal {
+		if seen[s] {
+			t.Fatal("duplicate neighbor without replacement")
+		}
+		seen[s] = true
+	}
+}
+
+func TestSampleFullNeighbors(t *testing.T) {
+	g := star(t, 20)
+	blocks, err := SampleFull(g, []int32{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks[0].InDegree(0) != 19 {
+		t.Fatalf("full sample got %d of 19 neighbors", blocks[0].InDegree(0))
+	}
+}
+
+func TestSampleSmallDegreeTakesAll(t *testing.T) {
+	g := star(t, 5)
+	s := New([]int{100}, 1)
+	blocks, err := s.Sample(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks[0].InDegree(0) != 4 {
+		t.Fatalf("should take all 4 neighbors, got %d", blocks[0].InDegree(0))
+	}
+}
+
+func TestSampleWithReplacement(t *testing.T) {
+	g := star(t, 4) // only 3 neighbors
+	s := NewWithReplacement([]int{10}, 2)
+	blocks, err := s.Sample(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// degree 3 <= fanout 10, so all neighbors taken without resampling
+	if blocks[0].InDegree(0) != 3 {
+		t.Fatalf("got degree %d", blocks[0].InDegree(0))
+	}
+	// now a star big enough to trigger replacement
+	g2 := star(t, 100)
+	blocks, err = s.Sample(g2, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks[0].InDegree(0) != 10 {
+		t.Fatalf("replacement sample degree %d, want 10", blocks[0].InDegree(0))
+	}
+}
+
+func TestMultiLayerStructure(t *testing.T) {
+	g := randomGraph(t, 3, 200, 2000)
+	s := New([]int{5, 3}, 7)
+	seeds := []int32{0, 1, 2, 3, 4}
+	blocks, err := s.Sample(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("want 2 blocks, got %d", len(blocks))
+	}
+	inner, outer := blocks[0], blocks[1]
+	if err := inner.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// output block's destinations are exactly the seeds
+	for i, v := range seeds {
+		if outer.DstNID[i] != v {
+			t.Fatalf("seed %d lost", v)
+		}
+	}
+	// chaining: inner's destinations are outer's sources
+	if inner.NumDst != outer.NumSrc {
+		t.Fatalf("layer chaining broken: %d vs %d", inner.NumDst, outer.NumSrc)
+	}
+	for i := range inner.DstNID {
+		if inner.DstNID[i] != outer.SrcNID[i] {
+			t.Fatal("frontier NIDs do not chain")
+		}
+	}
+	// fanout bounds per layer
+	for d := 0; d < outer.NumDst; d++ {
+		if outer.InDegree(d) > 3 {
+			t.Fatalf("outer fanout exceeded: %d", outer.InDegree(d))
+		}
+	}
+	for d := 0; d < inner.NumDst; d++ {
+		if inner.InDegree(d) > 5 {
+			t.Fatalf("inner fanout exceeded: %d", inner.InDegree(d))
+		}
+	}
+}
+
+// Property: every sampled edge exists in the raw graph with matching
+// endpoints and edge ID, for random graphs/seeds/fanouts.
+func TestSampledEdgesAreReal(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := int32(10 + r.Intn(100))
+		g := randomGraph(t, seed^1, n, 20*int(n))
+		rawSrc, rawDst := g.Edges()
+		seeds := []int32{r.Int31n(n), r.Int31n(n)}
+		s := New([]int{1 + r.Intn(8), 1 + r.Intn(8)}, seed^2)
+		blocks, err := s.Sample(g, seeds)
+		if err != nil {
+			return false
+		}
+		for _, b := range blocks {
+			if b.Validate() != nil {
+				return false
+			}
+			for d := 0; d < b.NumDst; d++ {
+				for p := b.Ptr[d]; p < b.Ptr[d+1]; p++ {
+					e := b.EID[p]
+					if rawSrc[e] != b.SrcNID[b.SrcLocal[p]] || rawDst[e] != b.DstNID[d] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	g := randomGraph(t, 9, 300, 6000)
+	seeds := []int32{1, 5, 9}
+	a, err := New([]int{4, 4}, 42).Sample(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]int{4, 4}, 42).Sample(g, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range a {
+		if a[l].NumSrc != b[l].NumSrc || a[l].NumEdges() != b[l].NumEdges() {
+			t.Fatal("same seed produced different samples")
+		}
+		for i := range a[l].SrcNID {
+			if a[l].SrcNID[i] != b[l].SrcNID[i] {
+				t.Fatal("same seed produced different source order")
+			}
+		}
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	g := star(t, 5)
+	if _, err := New(nil, 0).Sample(g, []int32{0}); err == nil {
+		t.Fatal("empty fanouts not rejected")
+	}
+	if _, err := New([]int{3}, 0).Sample(g, []int32{99}); err == nil {
+		t.Fatal("out-of-range seed not rejected")
+	}
+}
+
+// Reservoir sampling must be (approximately) uniform: over many draws of
+// 2-of-20 neighbors, every neighbor should appear close to 1/10 of the time.
+func TestSamplingUniformity(t *testing.T) {
+	g := star(t, 21) // node 0 has neighbors 1..20
+	counts := make(map[int32]int)
+	const trials = 8000
+	for i := 0; i < trials; i++ {
+		s := New([]int{2}, uint64(i))
+		blocks, err := s.Sample(g, []int32{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := blocks[0]
+		for p := b.Ptr[0]; p < b.Ptr[1]; p++ {
+			counts[b.SrcNID[b.SrcLocal[p]]]++
+		}
+	}
+	want := float64(2*trials) / 20
+	for v := int32(1); v <= 20; v++ {
+		got := float64(counts[v])
+		if got < 0.8*want || got > 1.2*want {
+			t.Fatalf("neighbor %d drawn %v times, want about %v", v, got, want)
+		}
+	}
+}
+
+// Weighted graphs propagate their edge weights into the sampled blocks.
+func TestSampleCarriesEdgeWeights(t *testing.T) {
+	g, err := graph.FromEdgesWeighted(3,
+		[]int32{1, 2}, []int32{0, 0}, []float32{2.5, 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := New([]int{10}, 1).Sample(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := blocks[0]
+	if b.EdgeWt == nil {
+		t.Fatal("weighted graph produced unweighted block")
+	}
+	for p := range b.EdgeWt {
+		want := g.EdgeWeight(b.EID[p])
+		if b.EdgeWt[p] != want {
+			t.Fatalf("edge %d weight %v, want %v", p, b.EdgeWt[p], want)
+		}
+	}
+	// unweighted graphs keep EdgeWt nil (the fast path)
+	g2 := star(t, 4)
+	blocks2, err := New([]int{10}, 1).Sample(g2, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks2[0].EdgeWt != nil {
+		t.Fatal("unweighted graph produced weighted block")
+	}
+}
+
+func TestZeroDegreeSeed(t *testing.T) {
+	// node 1 in the star has no in-edges
+	g := star(t, 5)
+	blocks, err := New([]int{3}, 0).Sample(g, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := blocks[0]
+	if b.NumEdges() != 0 || b.NumSrc != 1 || b.NumDst != 1 {
+		t.Fatalf("zero-degree seed mishandled: %d edges %d src", b.NumEdges(), b.NumSrc)
+	}
+}

@@ -1,0 +1,862 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"betty/internal/rng"
+)
+
+// Var is a node in the autograd graph: a tensor value plus an optional
+// gradient of the final loss with respect to it.
+//
+// Leaf Vars (created with Leaf or Param) live across training steps; their
+// gradients accumulate until ZeroGrad is called, which is exactly the
+// mechanism micro-batch gradient accumulation relies on. Interior Vars are
+// created by Tape operations and live for one forward/backward pass.
+type Var struct {
+	Value *Tensor
+	Grad  *Tensor // lazily allocated on first gradient contribution
+
+	requiresGrad bool
+	back         func() // propagates v.Grad into the parents' gradients
+}
+
+// Leaf wraps a tensor as a constant input (no gradient is tracked).
+func Leaf(t *Tensor) *Var { return &Var{Value: t} }
+
+// Param wraps a tensor as a trainable parameter whose gradient accumulates
+// across backward passes until ZeroGrad.
+func Param(t *Tensor) *Var { return &Var{Value: t, requiresGrad: true} }
+
+// RequiresGrad reports whether gradients flow into v.
+func (v *Var) RequiresGrad() bool { return v.requiresGrad }
+
+// ZeroGrad clears the accumulated gradient.
+func (v *Var) ZeroGrad() {
+	if v.Grad != nil {
+		v.Grad.Zero()
+	}
+}
+
+// accumGrad adds g into v.Grad, allocating it on first use.
+func (v *Var) accumGrad(g *Tensor) {
+	if v.Grad == nil {
+		v.Grad = New(v.Value.RowsN, v.Value.ColsN)
+	}
+	AddInto(v.Grad, g)
+}
+
+// grad returns v.Grad, allocating a zero tensor if needed. Used by backward
+// closures that write into the gradient incrementally.
+func (v *Var) grad() *Tensor {
+	if v.Grad == nil {
+		v.Grad = New(v.Value.RowsN, v.Value.ColsN)
+	}
+	return v.Grad
+}
+
+// Tape records operations of one forward pass so they can be replayed in
+// reverse for backpropagation. A Tape is single-use per forward pass and is
+// not safe for concurrent use.
+type Tape struct {
+	ops        []*Var
+	valueBytes int64
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// record registers a new interior Var produced by an operation. The result
+// requires a gradient if any input does; operations call record with the
+// backward closure already bound.
+func (tp *Tape) record(value *Tensor, needsGrad bool, back func()) *Var {
+	v := &Var{Value: value, requiresGrad: needsGrad, back: back}
+	tp.valueBytes += int64(value.Len()) * 4
+	if needsGrad {
+		tp.ops = append(tp.ops, v)
+	}
+	return v
+}
+
+// ValueBytes returns the total bytes of every intermediate tensor the tape
+// has materialized — the activation memory of the forward pass, which the
+// simulated device charges against its capacity.
+func (tp *Tape) ValueBytes() int64 { return tp.valueBytes }
+
+func anyGrad(vs ...*Var) bool {
+	for _, v := range vs {
+		if v.requiresGrad {
+			return true
+		}
+	}
+	return false
+}
+
+// Backward seeds d(loss)/d(loss) = 1 and runs the tape in reverse,
+// accumulating gradients into every Var that requires them. loss must be a
+// 1x1 Var produced by this tape.
+func (tp *Tape) Backward(loss *Var) {
+	if loss.Value.Len() != 1 {
+		panic("tensor: Backward requires a scalar loss")
+	}
+	loss.grad().Data[0] = 1
+	for i := len(tp.ops) - 1; i >= 0; i-- {
+		op := tp.ops[i]
+		if op.Grad != nil && op.back != nil {
+			op.back()
+		}
+	}
+}
+
+// NumOps returns the number of recorded differentiable operations,
+// used by tests and the memory estimator's activation accounting.
+func (tp *Tape) NumOps() int { return len(tp.ops) }
+
+// --- differentiable operations ---
+
+// MatMul computes a @ b.
+func (tp *Tape) MatMul(a, b *Var) *Var {
+	val := MatMul(a.Value, b.Value)
+	var out *Var
+	out = tp.record(val, anyGrad(a, b), func() {
+		if a.requiresGrad {
+			// dA += dC @ Bᵀ
+			AddInto(a.grad(), MatMulTB(out.Grad, b.Value))
+		}
+		if b.requiresGrad {
+			// dB += Aᵀ @ dC
+			AddInto(b.grad(), MatMulTA(a.Value, out.Grad))
+		}
+	})
+	return out
+}
+
+// Add computes a + b elementwise (same shape).
+func (tp *Tape) Add(a, b *Var) *Var {
+	if !a.Value.SameShape(b.Value) {
+		panic("tensor: Add shape mismatch")
+	}
+	val := a.Value.Clone()
+	AddInto(val, b.Value)
+	var out *Var
+	out = tp.record(val, anyGrad(a, b), func() {
+		if a.requiresGrad {
+			AddInto(a.grad(), out.Grad)
+		}
+		if b.requiresGrad {
+			AddInto(b.grad(), out.Grad)
+		}
+	})
+	return out
+}
+
+// Sub computes a - b elementwise (same shape).
+func (tp *Tape) Sub(a, b *Var) *Var {
+	if !a.Value.SameShape(b.Value) {
+		panic("tensor: Sub shape mismatch")
+	}
+	val := a.Value.Clone()
+	AXPY(val, -1, b.Value)
+	var out *Var
+	out = tp.record(val, anyGrad(a, b), func() {
+		if a.requiresGrad {
+			AddInto(a.grad(), out.Grad)
+		}
+		if b.requiresGrad {
+			AXPY(b.grad(), -1, out.Grad)
+		}
+	})
+	return out
+}
+
+// Mul computes the Hadamard (elementwise) product a * b.
+func (tp *Tape) Mul(a, b *Var) *Var {
+	if !a.Value.SameShape(b.Value) {
+		panic("tensor: Mul shape mismatch")
+	}
+	val := New(a.Value.RowsN, a.Value.ColsN)
+	for i := range val.Data {
+		val.Data[i] = a.Value.Data[i] * b.Value.Data[i]
+	}
+	var out *Var
+	out = tp.record(val, anyGrad(a, b), func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := range g.Data {
+				g.Data[i] += out.Grad.Data[i] * b.Value.Data[i]
+			}
+		}
+		if b.requiresGrad {
+			g := b.grad()
+			for i := range g.Data {
+				g.Data[i] += out.Grad.Data[i] * a.Value.Data[i]
+			}
+		}
+	})
+	return out
+}
+
+// Scale computes s * a.
+func (tp *Tape) Scale(a *Var, s float32) *Var {
+	val := a.Value.Clone()
+	for i := range val.Data {
+		val.Data[i] *= s
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			AXPY(a.grad(), s, out.Grad)
+		}
+	})
+	return out
+}
+
+// AddBias adds a 1 x n bias row vector b to every row of a (m x n).
+func (tp *Tape) AddBias(a, b *Var) *Var {
+	if b.Value.RowsN != 1 || b.Value.ColsN != a.Value.ColsN {
+		panic("tensor: AddBias requires a 1 x cols bias")
+	}
+	val := a.Value.Clone()
+	n := val.ColsN
+	for i := 0; i < val.RowsN; i++ {
+		row := val.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] += b.Value.Data[j]
+		}
+	}
+	var out *Var
+	out = tp.record(val, anyGrad(a, b), func() {
+		if a.requiresGrad {
+			AddInto(a.grad(), out.Grad)
+		}
+		if b.requiresGrad {
+			g := b.grad()
+			for i := 0; i < out.Grad.RowsN; i++ {
+				row := out.Grad.Row(i)
+				for j := 0; j < n; j++ {
+					g.Data[j] += row[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// ReLU computes max(0, a) elementwise.
+func (tp *Tape) ReLU(a *Var) *Var {
+	val := New(a.Value.RowsN, a.Value.ColsN)
+	for i, v := range a.Value.Data {
+		if v > 0 {
+			val.Data[i] = v
+		}
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := range g.Data {
+				if a.Value.Data[i] > 0 {
+					g.Data[i] += out.Grad.Data[i]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// LeakyReLU computes a where a > 0 and alpha*a elsewhere.
+func (tp *Tape) LeakyReLU(a *Var, alpha float32) *Var {
+	val := New(a.Value.RowsN, a.Value.ColsN)
+	for i, v := range a.Value.Data {
+		if v > 0 {
+			val.Data[i] = v
+		} else {
+			val.Data[i] = alpha * v
+		}
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := range g.Data {
+				if a.Value.Data[i] > 0 {
+					g.Data[i] += out.Grad.Data[i]
+				} else {
+					g.Data[i] += alpha * out.Grad.Data[i]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Sigmoid computes 1/(1+exp(-a)) elementwise.
+func (tp *Tape) Sigmoid(a *Var) *Var {
+	val := New(a.Value.RowsN, a.Value.ColsN)
+	for i, v := range a.Value.Data {
+		val.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := range g.Data {
+				s := val.Data[i]
+				g.Data[i] += out.Grad.Data[i] * s * (1 - s)
+			}
+		}
+	})
+	return out
+}
+
+// Tanh computes tanh(a) elementwise.
+func (tp *Tape) Tanh(a *Var) *Var {
+	val := New(a.Value.RowsN, a.Value.ColsN)
+	for i, v := range a.Value.Data {
+		val.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := range g.Data {
+				t := val.Data[i]
+				g.Data[i] += out.Grad.Data[i] * (1 - t*t)
+			}
+		}
+	})
+	return out
+}
+
+// ConcatCols concatenates a (m x n1) and b (m x n2) into (m x n1+n2).
+func (tp *Tape) ConcatCols(a, b *Var) *Var {
+	if a.Value.RowsN != b.Value.RowsN {
+		panic("tensor: ConcatCols row mismatch")
+	}
+	m, n1, n2 := a.Value.RowsN, a.Value.ColsN, b.Value.ColsN
+	val := New(m, n1+n2)
+	for i := 0; i < m; i++ {
+		copy(val.Row(i)[:n1], a.Value.Row(i))
+		copy(val.Row(i)[n1:], b.Value.Row(i))
+	}
+	var out *Var
+	out = tp.record(val, anyGrad(a, b), func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := 0; i < m; i++ {
+				row := out.Grad.Row(i)[:n1]
+				grow := g.Row(i)
+				for j, v := range row {
+					grow[j] += v
+				}
+			}
+		}
+		if b.requiresGrad {
+			g := b.grad()
+			for i := 0; i < m; i++ {
+				row := out.Grad.Row(i)[n1:]
+				grow := g.Row(i)
+				for j, v := range row {
+					grow[j] += v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// GatherRows selects rows of a by idx: out[i] = a[idx[i]].
+func (tp *Tape) GatherRows(a *Var, idx []int32) *Var {
+	n := a.Value.ColsN
+	val := New(len(idx), n)
+	for i, id := range idx {
+		copy(val.Row(i), a.Value.Row(int(id)))
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i, id := range idx {
+				grow := g.Row(int(id))
+				orow := out.Grad.Row(i)
+				for j, v := range orow {
+					grow[j] += v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// SliceRows returns rows [lo, hi) of a, sharing no storage with a.
+func (tp *Tape) SliceRows(a *Var, lo, hi int) *Var {
+	if lo < 0 || hi > a.Value.RowsN || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %d rows", lo, hi, a.Value.RowsN))
+	}
+	n := a.Value.ColsN
+	val := New(hi-lo, n)
+	copy(val.Data, a.Value.Data[lo*n:hi*n])
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			sub := g.Data[lo*n : hi*n]
+			for i, v := range out.Grad.Data {
+				sub[i] += v
+			}
+		}
+	})
+	return out
+}
+
+// SliceCols returns columns [lo, hi) of a as a new tensor.
+func (tp *Tape) SliceCols(a *Var, lo, hi int) *Var {
+	if lo < 0 || hi > a.Value.ColsN || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %d cols", lo, hi, a.Value.ColsN))
+	}
+	m, w := a.Value.RowsN, hi-lo
+	val := New(m, w)
+	for i := 0; i < m; i++ {
+		copy(val.Row(i), a.Value.Row(i)[lo:hi])
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := 0; i < m; i++ {
+				grow := g.Row(i)[lo:hi]
+				orow := out.Grad.Row(i)
+				for j, v := range orow {
+					grow[j] += v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// SegmentSum aggregates per-edge rows into per-destination rows:
+// out[dst[e]] += a[e] for every edge e. a is (nEdges x n), out is (nSeg x n).
+func (tp *Tape) SegmentSum(a *Var, dst []int32, nSeg int) *Var {
+	if len(dst) != a.Value.RowsN {
+		panic("tensor: SegmentSum index length mismatch")
+	}
+	n := a.Value.ColsN
+	val := New(nSeg, n)
+	for e, d := range dst {
+		row := val.Row(int(d))
+		arow := a.Value.Row(e)
+		for j, v := range arow {
+			row[j] += v
+		}
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for e, d := range dst {
+				grow := g.Row(e)
+				orow := out.Grad.Row(int(d))
+				for j, v := range orow {
+					grow[j] += v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// GatherSegmentSum fuses GatherRows + SegmentSum for the common
+// message-passing pattern out[dst[e]] += a[src[e]]: it avoids materializing
+// the per-edge tensor. a is (nSrc x n), out is (nSeg x n).
+func (tp *Tape) GatherSegmentSum(a *Var, src, dst []int32, nSeg int) *Var {
+	if len(src) != len(dst) {
+		panic("tensor: GatherSegmentSum src/dst length mismatch")
+	}
+	n := a.Value.ColsN
+	val := New(nSeg, n)
+	for e := range src {
+		row := val.Row(int(dst[e]))
+		arow := a.Value.Row(int(src[e]))
+		for j, v := range arow {
+			row[j] += v
+		}
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for e := range src {
+				grow := g.Row(int(src[e]))
+				orow := out.Grad.Row(int(dst[e]))
+				for j, v := range orow {
+					grow[j] += v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// SegmentMax computes out[s] = elementwise max over rows of a with dst==s.
+// Segments with no edges yield zero rows. The backward pass routes each
+// output gradient to the argmax row, as in max-pooling aggregators.
+func (tp *Tape) SegmentMax(a *Var, dst []int32, nSeg int) *Var {
+	if len(dst) != a.Value.RowsN {
+		panic("tensor: SegmentMax index length mismatch")
+	}
+	n := a.Value.ColsN
+	val := New(nSeg, n)
+	arg := make([]int32, nSeg*n) // edge index of the max, -1 = empty
+	for i := range arg {
+		arg[i] = -1
+	}
+	for e, d := range dst {
+		row := val.Row(int(d))
+		arow := a.Value.Row(e)
+		base := int(d) * n
+		for j, v := range arow {
+			if arg[base+j] == -1 || v > row[j] {
+				row[j] = v
+				arg[base+j] = int32(e)
+			}
+		}
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for s := 0; s < nSeg; s++ {
+				orow := out.Grad.Row(s)
+				base := s * n
+				for j, v := range orow {
+					if e := arg[base+j]; e >= 0 {
+						g.Data[int(e)*n+j] += v
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// ScatterRows places row i of a at row idx[i] of a new numRows x cols
+// tensor. Indices must be distinct; unassigned rows are zero. It is the
+// inverse of GatherRows with disjoint indices, used to merge degree-bucket
+// results back into per-destination order.
+func (tp *Tape) ScatterRows(a *Var, idx []int32, numRows int) *Var {
+	if len(idx) != a.Value.RowsN {
+		panic("tensor: ScatterRows index length mismatch")
+	}
+	n := a.Value.ColsN
+	val := New(numRows, n)
+	seen := make(map[int32]bool, len(idx))
+	for i, id := range idx {
+		if id < 0 || int(id) >= numRows {
+			panic(fmt.Sprintf("tensor: ScatterRows index %d out of range [0,%d)", id, numRows))
+		}
+		if seen[id] {
+			panic(fmt.Sprintf("tensor: ScatterRows duplicate index %d", id))
+		}
+		seen[id] = true
+		copy(val.Row(int(id)), a.Value.Row(i))
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i, id := range idx {
+				grow := g.Row(i)
+				orow := out.Grad.Row(int(id))
+				for j, v := range orow {
+					grow[j] += v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// RowScale multiplies each row i of a by scale[i]. scale is constant
+// (no gradient flows into it); used for mean aggregation (scale = 1/deg).
+func (tp *Tape) RowScale(a *Var, scale []float32) *Var {
+	if len(scale) != a.Value.RowsN {
+		panic("tensor: RowScale length mismatch")
+	}
+	n := a.Value.ColsN
+	val := New(a.Value.RowsN, n)
+	for i := 0; i < a.Value.RowsN; i++ {
+		s := scale[i]
+		row := val.Row(i)
+		arow := a.Value.Row(i)
+		for j, v := range arow {
+			row[j] = v * s
+		}
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := 0; i < out.Grad.RowsN; i++ {
+				s := scale[i]
+				grow := g.Row(i)
+				orow := out.Grad.Row(i)
+				for j, v := range orow {
+					grow[j] += v * s
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MulRowsVec multiplies every element of row i of a (m x n) by the scalar
+// w[i][0], where w is an m x 1 Var. Gradients flow into both a and w.
+// Used for attention-weighted message passing.
+func (tp *Tape) MulRowsVec(a, w *Var) *Var {
+	if w.Value.ColsN != 1 || w.Value.RowsN != a.Value.RowsN {
+		panic("tensor: MulRowsVec requires w of shape rows(a) x 1")
+	}
+	n := a.Value.ColsN
+	val := New(a.Value.RowsN, n)
+	for i := 0; i < a.Value.RowsN; i++ {
+		s := w.Value.Data[i]
+		row := val.Row(i)
+		arow := a.Value.Row(i)
+		for j, v := range arow {
+			row[j] = v * s
+		}
+	}
+	var out *Var
+	out = tp.record(val, anyGrad(a, w), func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := 0; i < out.Grad.RowsN; i++ {
+				s := w.Value.Data[i]
+				grow := g.Row(i)
+				orow := out.Grad.Row(i)
+				for j, v := range orow {
+					grow[j] += v * s
+				}
+			}
+		}
+		if w.requiresGrad {
+			g := w.grad()
+			for i := 0; i < out.Grad.RowsN; i++ {
+				arow := a.Value.Row(i)
+				orow := out.Grad.Row(i)
+				var s float32
+				for j, v := range orow {
+					s += v * arow[j]
+				}
+				g.Data[i] += s
+			}
+		}
+	})
+	return out
+}
+
+// SegmentSoftmax normalizes the scores (nEdges x 1) with a softmax within
+// each destination segment: out[e] = exp(s[e]) / sum_{e': dst[e']==dst[e]} exp(s[e']).
+// A numerically stable per-segment max subtraction is applied.
+func (tp *Tape) SegmentSoftmax(scores *Var, dst []int32, nSeg int) *Var {
+	if scores.Value.ColsN != 1 || len(dst) != scores.Value.RowsN {
+		panic("tensor: SegmentSoftmax requires nEdges x 1 scores")
+	}
+	nE := len(dst)
+	maxes := make([]float32, nSeg)
+	seen := make([]bool, nSeg)
+	for e, d := range dst {
+		v := scores.Value.Data[e]
+		if !seen[d] || v > maxes[d] {
+			maxes[d] = v
+			seen[d] = true
+		}
+	}
+	val := New(nE, 1)
+	sums := make([]float64, nSeg)
+	for e, d := range dst {
+		ex := math.Exp(float64(scores.Value.Data[e] - maxes[d]))
+		val.Data[e] = float32(ex)
+		sums[d] += ex
+	}
+	for e, d := range dst {
+		val.Data[e] = float32(float64(val.Data[e]) / sums[d])
+	}
+	var out *Var
+	out = tp.record(val, scores.requiresGrad, func() {
+		if scores.requiresGrad {
+			// d s_e = p_e * (g_e - sum_{e' in seg} p_e' g_e')
+			dots := make([]float64, nSeg)
+			for e, d := range dst {
+				dots[d] += float64(val.Data[e]) * float64(out.Grad.Data[e])
+			}
+			g := scores.grad()
+			for e, d := range dst {
+				g.Data[e] += val.Data[e] * (out.Grad.Data[e] - float32(dots[d]))
+			}
+		}
+	})
+	return out
+}
+
+// Dropout zeroes each element with probability p and scales survivors by
+// 1/(1-p) (inverted dropout). With p == 0 it is the identity.
+func (tp *Tape) Dropout(a *Var, p float32, r *rng.RNG) *Var {
+	if p <= 0 {
+		return a
+	}
+	if p >= 1 {
+		panic("tensor: Dropout probability must be < 1")
+	}
+	keep := 1 - p
+	inv := 1 / keep
+	mask := make([]float32, a.Value.Len())
+	val := New(a.Value.RowsN, a.Value.ColsN)
+	for i, v := range a.Value.Data {
+		if r.Float32() < keep {
+			mask[i] = inv
+			val.Data[i] = v * inv
+		}
+	}
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			for i := range g.Data {
+				g.Data[i] += out.Grad.Data[i] * mask[i]
+			}
+		}
+	})
+	return out
+}
+
+// Sum reduces a to a 1x1 scalar by summing all elements.
+func (tp *Tape) Sum(a *Var) *Var {
+	val := New(1, 1)
+	var s float64
+	for _, v := range a.Value.Data {
+		s += float64(v)
+	}
+	val.Data[0] = float32(s)
+	var out *Var
+	out = tp.record(val, a.requiresGrad, func() {
+		if a.requiresGrad {
+			g := a.grad()
+			gv := out.Grad.Data[0]
+			for i := range g.Data {
+				g.Data[i] += gv
+			}
+		}
+	})
+	return out
+}
+
+// Mean reduces a to a 1x1 scalar by averaging all elements.
+func (tp *Tape) Mean(a *Var) *Var {
+	return tp.Scale(tp.Sum(a), 1/float32(a.Value.Len()))
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss between logits
+// (m x C) and integer labels (length m). It returns a 1x1 loss Var. Rows
+// whose label is negative are ignored (masked), matching the convention for
+// nodes without labels.
+func (tp *Tape) SoftmaxCrossEntropy(logits *Var, labels []int32) *Var {
+	m, c := logits.Value.RowsN, logits.Value.ColsN
+	if len(labels) != m {
+		panic("tensor: SoftmaxCrossEntropy label length mismatch")
+	}
+	probs := New(m, c)
+	var loss float64
+	count := 0
+	for i := 0; i < m; i++ {
+		if labels[i] < 0 {
+			continue
+		}
+		count++
+		row := logits.Value.Row(i)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		prow := probs.Row(i)
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			prow[j] = float32(e)
+			sum += e
+		}
+		for j := range prow {
+			prow[j] = float32(float64(prow[j]) / sum)
+		}
+		loss += -math.Log(math.Max(float64(prow[labels[i]]), 1e-30))
+	}
+	val := New(1, 1)
+	if count > 0 {
+		val.Data[0] = float32(loss / float64(count))
+	}
+	var out *Var
+	out = tp.record(val, logits.requiresGrad, func() {
+		if logits.requiresGrad && count > 0 {
+			g := logits.grad()
+			scale := out.Grad.Data[0] / float32(count)
+			for i := 0; i < m; i++ {
+				if labels[i] < 0 {
+					continue
+				}
+				grow := g.Row(i)
+				prow := probs.Row(i)
+				for j, p := range prow {
+					grow[j] += scale * p
+				}
+				grow[labels[i]] -= scale
+			}
+		}
+	})
+	return out
+}
+
+// Softmax computes a row-wise softmax of logits without recording a
+// backward op; it is a convenience for inference-time predictions.
+func Softmax(logits *Tensor) *Tensor {
+	out := New(logits.RowsN, logits.ColsN)
+	for i := 0; i < logits.RowsN; i++ {
+		row := logits.Row(i)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		orow := out.Row(i)
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			orow[j] = float32(e)
+			sum += e
+		}
+		for j := range orow {
+			orow[j] = float32(float64(orow[j]) / sum)
+		}
+	}
+	return out
+}
+
+// Argmax returns the index of the largest value in each row.
+func Argmax(t *Tensor) []int32 {
+	out := make([]int32, t.RowsN)
+	for i := 0; i < t.RowsN; i++ {
+		row := t.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = int32(best)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+// Package tensor implements the dense numerical substrate for GNN training:
+// a row-major float32 matrix type, the raw math kernels (matmul, elementwise
+// maps, segment reductions over graph edges), and a reverse-mode automatic
+// differentiation tape built on top of them.
+//
+// The package replaces the role PyTorch plays in the original Betty
+// implementation. It is deliberately minimal — 2-D tensors only, float32
+// only — but the autograd is a real reverse-mode tape, so the gradient
+// accumulation equivalence that micro-batch training relies on (sum of
+// micro-batch gradients == full-batch gradient) holds by construction.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"betty/internal/rng"
+)
+
+// Tensor is a dense row-major matrix of float32 values.
+// A Tensor with Cols == 1 doubles as a column vector.
+type Tensor struct {
+	// RowsN and ColsN are the dimensions. Data has length RowsN*ColsN.
+	RowsN, ColsN int
+	Data         []float32
+}
+
+// New returns a zero-initialized rows x cols tensor.
+func New(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Tensor{RowsN: rows, ColsN: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows x cols tensor.
+func FromSlice(rows, cols int, data []float32) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d needs %d values, got %d", rows, cols, rows*cols, len(data)))
+	}
+	return &Tensor{RowsN: rows, ColsN: cols, Data: data}
+}
+
+// Rows returns the number of rows.
+func (t *Tensor) Rows() int { return t.RowsN }
+
+// Cols returns the number of columns.
+func (t *Tensor) Cols() int { return t.ColsN }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return t.RowsN * t.ColsN }
+
+// At returns the element at row i, column j.
+func (t *Tensor) At(i, j int) float32 { return t.Data[i*t.ColsN+j] }
+
+// Set assigns the element at row i, column j.
+func (t *Tensor) Set(i, j int, v float32) { t.Data[i*t.ColsN+j] = v }
+
+// Row returns row i as a slice aliasing the tensor's storage.
+func (t *Tensor) Row(i int) []float32 { return t.Data[i*t.ColsN : (i+1)*t.ColsN] }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.RowsN, t.ColsN)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// SameShape reports whether t and o have identical dimensions.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	return t.RowsN == o.RowsN && t.ColsN == o.ColsN
+}
+
+// String renders small tensors fully and large ones as a shape summary.
+func (t *Tensor) String() string {
+	if t.Len() <= 64 {
+		return fmt.Sprintf("Tensor(%dx%d)%v", t.RowsN, t.ColsN, t.Data)
+	}
+	return fmt.Sprintf("Tensor(%dx%d)", t.RowsN, t.ColsN)
+}
+
+// Randn fills t with normal deviates scaled by std.
+func (t *Tensor) Randn(r *rng.RNG, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(r.Norm() * std)
+	}
+}
+
+// XavierInit fills t with the Glorot/Xavier uniform initialization for a
+// weight matrix of shape [fanIn, fanOut].
+func (t *Tensor) XavierInit(r *rng.RNG) {
+	limit := math.Sqrt(6.0 / float64(t.RowsN+t.ColsN))
+	for i := range t.Data {
+		t.Data[i] = float32((2*r.Float64() - 1) * limit)
+	}
+}
+
+// --- raw kernels (no autograd) ---
+
+// MatMul computes a @ b into a new tensor. Panics on shape mismatch.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.ColsN != b.RowsN {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d @ %dx%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
+	}
+	out := New(a.RowsN, b.ColsN)
+	matMulInto(out, a, b, false)
+	return out
+}
+
+// matMulInto computes out (+)= a @ b with an ikj loop order that keeps the
+// inner loop contiguous for both b and out. When accum is true the product
+// is added to out instead of overwriting it.
+func matMulInto(out, a, b *Tensor, accum bool) {
+	n := b.ColsN
+	if !accum {
+		out.Zero()
+	}
+	for i := 0; i < a.RowsN; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.ColsN; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTA computes aᵀ @ b into a new tensor.
+func MatMulTA(a, b *Tensor) *Tensor {
+	if a.RowsN != b.RowsN {
+		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch %dx%d ᵀ@ %dx%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
+	}
+	out := New(a.ColsN, b.ColsN)
+	n := b.ColsN
+	for k := 0; k < a.RowsN; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTB computes a @ bᵀ into a new tensor.
+func MatMulTB(a, b *Tensor) *Tensor {
+	if a.ColsN != b.ColsN {
+		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %dx%d @ᵀ %dx%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
+	}
+	out := New(a.RowsN, b.RowsN)
+	for i := 0; i < a.RowsN; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.RowsN; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns aᵀ as a new tensor.
+func Transpose(a *Tensor) *Tensor {
+	out := New(a.ColsN, a.RowsN)
+	for i := 0; i < a.RowsN; i++ {
+		for j := 0; j < a.ColsN; j++ {
+			out.Data[j*a.RowsN+i] = a.Data[i*a.ColsN+j]
+		}
+	}
+	return out
+}
+
+// AddInto computes dst += src elementwise.
+func AddInto(dst, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic("tensor: AddInto shape mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// AXPY computes dst += alpha * src elementwise.
+func AXPY(dst *Tensor, alpha float32, src *Tensor) {
+	if !dst.SameShape(src) {
+		panic("tensor: AXPY shape mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += alpha * v
+	}
+}

@@ -1,0 +1,254 @@
+// Package train executes GNN training steps against the simulated device:
+// it gathers batch inputs, charges the device ledger (reproducing OOM
+// boundaries), advances the transfer/compute clocks, and runs the real
+// forward/backward pass on the autograd tape. Epoch-level strategies
+// (full-batch, Betty micro-batch, mini-batch) are composed on top of it by
+// package core.
+package train
+
+import (
+	"fmt"
+
+	"betty/internal/dataset"
+	"betty/internal/device"
+	"betty/internal/graph"
+	"betty/internal/nn"
+	"betty/internal/tensor"
+)
+
+// Model abstracts the trainable GNNs (GraphSAGE, GAT).
+type Model interface {
+	nn.Module
+	// Forward maps an input-first block list and input features to logits
+	// for the last block's destinations.
+	Forward(tp *tensor.Tape, blocks []*graph.Block, x *tensor.Var) *tensor.Var
+	// Flops estimates forward+backward floating point operations.
+	Flops(blocks []*graph.Block) float64
+	// Config returns the architecture description.
+	Config() nn.Config
+}
+
+// StepResult reports one executed (micro-)batch.
+type StepResult struct {
+	// Loss is the unscaled mean cross-entropy over the batch's outputs.
+	Loss float64
+	// Correct and Count give training accuracy over the batch's outputs.
+	Correct, Count int
+	// TransferSeconds and ComputeSeconds are the simulated device times
+	// charged for this batch.
+	TransferSeconds, ComputeSeconds float64
+	// ActivationBytes is the tape's materialized intermediate memory.
+	ActivationBytes int64
+	// PeakBytes is the device peak observed during this batch (0 when no
+	// device is attached).
+	PeakBytes int64
+}
+
+// Runner executes batches for one model/dataset pair.
+type Runner struct {
+	Model Model
+	Data  *dataset.Dataset
+	Opt   nn.Optimizer
+
+	// Dev, when non-nil, enforces the memory capacity and accumulates
+	// simulated time. Training without a device skips all accounting.
+	Dev *device.Device
+
+	resident []*device.Buffer
+}
+
+// NewRunner wires a model, dataset, and optimizer; dev may be nil.
+func NewRunner(m Model, d *dataset.Dataset, opt nn.Optimizer, dev *device.Device) *Runner {
+	return &Runner{Model: m, Data: d, Opt: opt, Dev: dev}
+}
+
+// EnsureResident allocates the persistent device buffers: parameters,
+// gradients, and optimizer states live across batches.
+func (r *Runner) EnsureResident() error {
+	if r.Dev == nil || r.resident != nil {
+		return nil
+	}
+	params := int64(nn.ParamCount(r.Model))
+	allocs := []struct {
+		bytes int64
+		label string
+	}{
+		{params * 4, "parameters"},
+		{params * 4, "gradients"},
+		{params * int64(r.Opt.StateSize()) * 4, "optimizer-states"},
+	}
+	for _, a := range allocs {
+		if a.bytes == 0 {
+			continue
+		}
+		buf, err := r.Dev.Alloc(a.bytes, a.label)
+		if err != nil {
+			return fmt.Errorf("train: resident state: %w", err)
+		}
+		r.resident = append(r.resident, buf)
+	}
+	return nil
+}
+
+// DetachResident hands ownership of the current resident buffers (the
+// model-state replica on the current device) to the caller and clears the
+// runner's record, so a subsequent EnsureResident allocates on whatever
+// device is then attached. Multi-device training uses Detach/Attach to
+// keep one persistent replica per device across epochs.
+func (r *Runner) DetachResident() []*device.Buffer {
+	bufs := r.resident
+	r.resident = nil
+	return bufs
+}
+
+// AttachResident installs a previously detached resident set (which must
+// belong to the currently attached device). A nil set means the next batch
+// allocates a fresh replica.
+func (r *Runner) AttachResident(bufs []*device.Buffer) { r.resident = bufs }
+
+// ReleaseResident frees the persistent buffers (end of training).
+func (r *Runner) ReleaseResident() {
+	if r.Dev == nil {
+		return
+	}
+	for _, b := range r.resident {
+		r.Dev.Free(b)
+	}
+	r.resident = nil
+}
+
+// RunMicroBatch runs forward+backward on blocks, scaling the loss by scale
+// before backpropagation so that accumulated micro-batch gradients equal
+// the full-batch gradient (scale = microOutputs/batchOutputs). Gradients
+// accumulate in the model; call Step to apply them.
+//
+// With a device attached, the batch's transient tensors are charged to the
+// ledger first; an OOM error aborts the batch before any compute.
+func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult, error) {
+	var res StepResult
+	if len(blocks) == 0 {
+		return res, fmt.Errorf("train: empty batch")
+	}
+	input := blocks[0]
+	last := blocks[len(blocks)-1]
+	x := r.Data.GatherFeatures(input.SrcNID)
+	labels := r.Data.GatherLabels(last.DstNID)
+
+	// Device phase 1: transfer inputs and charge their memory.
+	var transient []*device.Buffer
+	charge := func(bytes int64, label string, transfer bool) error {
+		if r.Dev == nil || bytes == 0 {
+			return nil
+		}
+		buf, err := r.Dev.Alloc(bytes, label)
+		if err != nil {
+			return err
+		}
+		transient = append(transient, buf)
+		if transfer {
+			res.TransferSeconds += r.Dev.Transfer(bytes)
+		}
+		return nil
+	}
+	free := func() {
+		for _, b := range transient {
+			r.Dev.Free(b)
+		}
+		transient = nil
+	}
+	if err := r.EnsureResident(); err != nil {
+		return res, err
+	}
+	stats := graph.Stats(blocks)
+	if err := charge(int64(x.Len())*4, "input-features", true); err != nil {
+		free()
+		return res, err
+	}
+	if err := charge(int64(len(labels))*4, "labels", true); err != nil {
+		free()
+		return res, err
+	}
+	if err := charge(int64(stats.TotalEdges)*3*4, "blocks", true); err != nil {
+		free()
+		return res, err
+	}
+
+	// Forward + loss on the tape.
+	tp := tensor.NewTape()
+	logits := r.Model.Forward(tp, blocks, tensor.Leaf(x))
+	loss := tp.SoftmaxCrossEntropy(logits, labels)
+	res.Loss = float64(loss.Value.Data[0])
+	pred := tensor.Argmax(logits.Value)
+	for i, p := range pred {
+		if labels[i] >= 0 {
+			res.Count++
+			if p == labels[i] {
+				res.Correct++
+			}
+		}
+	}
+	res.ActivationBytes = tp.ValueBytes()
+
+	// Device phase 2: charge activations and compute time, then backward.
+	if err := charge(res.ActivationBytes, "activations", false); err != nil {
+		free()
+		return res, fmt.Errorf("train: forward activations: %w", err)
+	}
+	if r.Dev != nil {
+		// forward + backward issue roughly three kernels per recorded op
+		res.ComputeSeconds += r.Dev.ComputeKernels(r.Model.Flops(blocks), 3*tp.NumOps())
+		res.PeakBytes = r.Dev.Peak()
+	}
+	if scale != 1 {
+		loss = tp.Scale(loss, scale)
+	}
+	tp.Backward(loss)
+	free()
+	return res, nil
+}
+
+// Step applies the optimizer to the accumulated gradients and clears them.
+func (r *Runner) Step() {
+	r.Opt.Step()
+	nn.ZeroGrad(r.Model)
+}
+
+// sampler is the subset of sample.Sampler the evaluator needs; declared
+// here to avoid a dependency cycle in tests that fake it.
+type sampler interface {
+	Sample(g *graph.Graph, seeds []int32) ([]*graph.Block, error)
+}
+
+// Evaluate computes accuracy over seeds, processing them in chunks of
+// chunkSize with the given sampler (no device accounting, no gradients).
+func (r *Runner) Evaluate(s sampler, seeds []int32, chunkSize int) (float64, error) {
+	if chunkSize <= 0 {
+		chunkSize = 1024
+	}
+	correct, count := 0, 0
+	for lo := 0; lo < len(seeds); lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > len(seeds) {
+			hi = len(seeds)
+		}
+		blocks, err := s.Sample(r.Data.Graph, seeds[lo:hi])
+		if err != nil {
+			return 0, err
+		}
+		x := r.Data.GatherFeatures(blocks[0].SrcNID)
+		labels := r.Data.GatherLabels(blocks[len(blocks)-1].DstNID)
+		tp := tensor.NewTape()
+		logits := r.Model.Forward(tp, blocks, tensor.Leaf(x))
+		pred := tensor.Argmax(logits.Value)
+		for i, p := range pred {
+			count++
+			if p == labels[i] {
+				correct++
+			}
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("train: no evaluation nodes")
+	}
+	return float64(correct) / float64(count), nil
+}

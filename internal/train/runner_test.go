@@ -1,0 +1,210 @@
+package train
+
+import (
+	"errors"
+	"testing"
+
+	"betty/internal/dataset"
+	"betty/internal/device"
+	"betty/internal/nn"
+	"betty/internal/rng"
+	"betty/internal/sample"
+)
+
+func testData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name: "t", Nodes: 600, AvgDegree: 8, FeatureDim: 16,
+		NumClasses: 4, Homophily: 0.8, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testRunner(t *testing.T, d *dataset.Dataset, dev *device.Device) *Runner {
+	t.Helper()
+	model, err := nn.NewGraphSAGE(nn.Config{
+		InDim: d.FeatureDim(), Hidden: 16, OutDim: d.NumClasses,
+		Layers: 2, Aggregator: nn.Mean,
+	}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRunner(model, d, nn.NewAdam(model, 0.01), dev)
+}
+
+func TestRunMicroBatchNoDevice(t *testing.T) {
+	d := testData(t)
+	r := testRunner(t, d, nil)
+	s := sample.New([]int{5, 5}, 1)
+	blocks, err := s.Sample(d.Graph, d.TrainIdx[:64])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunMicroBatch(blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loss <= 0 {
+		t.Fatalf("loss = %v", res.Loss)
+	}
+	if res.Count != 64 {
+		t.Fatalf("count = %d", res.Count)
+	}
+	if res.ActivationBytes <= 0 {
+		t.Fatal("no activation bytes recorded")
+	}
+	if res.PeakBytes != 0 || res.TransferSeconds != 0 {
+		t.Fatal("device metrics nonzero without a device")
+	}
+	// gradients accumulated
+	grads := 0
+	for _, p := range r.Model.Params() {
+		if p.Grad != nil {
+			grads++
+		}
+	}
+	if grads == 0 {
+		t.Fatal("no gradients accumulated")
+	}
+}
+
+func TestRunMicroBatchWithDevice(t *testing.T) {
+	d := testData(t)
+	dev := device.New(device.GiB, device.DefaultCostModel())
+	r := testRunner(t, d, dev)
+	s := sample.New([]int{5, 5}, 1)
+	blocks, err := s.Sample(d.Graph, d.TrainIdx[:64])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunMicroBatch(blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakBytes <= 0 {
+		t.Fatal("device peak not recorded")
+	}
+	if res.TransferSeconds <= 0 || res.ComputeSeconds <= 0 {
+		t.Fatal("simulated time not recorded")
+	}
+	// transient buffers freed; resident (params+grads+opt) remain
+	params := int64(nn.ParamCount(r.Model))
+	wantResident := params*4 + params*4 + params*2*4
+	if dev.Used() < wantResident || dev.Used() > wantResident+10*device.AllocGranularity {
+		t.Fatalf("used after batch = %d, want about %d (resident only)", dev.Used(), wantResident)
+	}
+	r.ReleaseResident()
+	if dev.Used() != 0 {
+		t.Fatalf("used after release = %d", dev.Used())
+	}
+}
+
+func TestRunMicroBatchOOM(t *testing.T) {
+	d := testData(t)
+	dev := device.New(64*device.KiB, device.DefaultCostModel())
+	r := testRunner(t, d, dev)
+	s := sample.New([]int{5, 5}, 1)
+	blocks, err := s.Sample(d.Graph, d.TrainIdx[:128])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.RunMicroBatch(blocks, 1)
+	if !errors.Is(err, device.ErrOOM) {
+		t.Fatalf("want OOM, got %v", err)
+	}
+	// transient buffers must have been freed on the error path
+	live := dev.LiveBuffers()
+	for _, b := range live {
+		switch b.Label() {
+		case "parameters", "gradients", "optimizer-states":
+		default:
+			t.Fatalf("leaked transient buffer %q", b.Label())
+		}
+	}
+}
+
+func TestStepAppliesAndClears(t *testing.T) {
+	d := testData(t)
+	r := testRunner(t, d, nil)
+	s := sample.New([]int{5, 5}, 1)
+	blocks, _ := s.Sample(d.Graph, d.TrainIdx[:64])
+	if _, err := r.RunMicroBatch(blocks, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Model.Params()[0].Value.Clone()
+	r.Step()
+	after := r.Model.Params()[0].Value
+	changed := false
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("optimizer step did not change parameters")
+	}
+	for _, p := range r.Model.Params() {
+		if p.Grad == nil {
+			continue
+		}
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				t.Fatal("gradients not cleared after Step")
+			}
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	d := testData(t)
+	r := testRunner(t, d, nil)
+	s := sample.New([]int{5, 5}, 3)
+	acc, err := r.Evaluate(s, d.TestIdx, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v out of range", acc)
+	}
+	if _, err := r.Evaluate(s, nil, 10); err == nil {
+		t.Fatal("empty evaluation accepted")
+	}
+}
+
+func TestEmptyBatchRejected(t *testing.T) {
+	d := testData(t)
+	r := testRunner(t, d, nil)
+	if _, err := r.RunMicroBatch(nil, 1); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// Training for a few steps must reduce the loss on a learnable dataset.
+func TestLossDecreases(t *testing.T) {
+	d := testData(t)
+	r := testRunner(t, d, nil)
+	s := sample.New([]int{8, 8}, 5)
+	var first, last float64
+	for epoch := 0; epoch < 15; epoch++ {
+		blocks, err := s.Sample(d.Graph, d.TrainIdx[:128])
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunMicroBatch(blocks, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Step()
+		if epoch == 0 {
+			first = res.Loss
+		}
+		last = res.Loss
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
