@@ -8,6 +8,7 @@ package betty_test
 // forward/backward, estimation).
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"betty/internal/graph"
 	"betty/internal/memory"
 	"betty/internal/nn"
+	"betty/internal/parallel"
 	"betty/internal/partition"
 	"betty/internal/reg"
 	"betty/internal/rng"
@@ -125,6 +127,45 @@ func BenchmarkREGConstructionFast(b *testing.B) {
 		if _, err := reg.BuildREGFast(last); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMatMulParallel measures the row-blocked matmul kernel across
+// worker counts; sub-benchmark names carry the count so speedups read
+// directly off `go test -bench MatMulParallel`.
+func BenchmarkMatMulParallel(b *testing.B) {
+	r := rng.New(1)
+	x := tensor.New(1024, 256)
+	x.Randn(r, 1)
+	y := tensor.New(256, 256)
+	y.Randn(r, 1)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			defer parallel.SetWorkers(parallel.SetWorkers(w))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkBuildREGFastParallel measures sharded REG construction across
+// worker counts on the same batch as BenchmarkREGConstructionFast.
+func BenchmarkBuildREGFastParallel(b *testing.B) {
+	ds := benchDataset(b)
+	blocks := benchBatch(b, ds, []int{5, 10})
+	last := blocks[len(blocks)-1]
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			defer parallel.SetWorkers(parallel.SetWorkers(w))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.BuildREGFast(last); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -66,7 +66,9 @@ type EpochStats struct {
 	K int
 	// Loss is the batch-weighted mean training loss.
 	Loss float64
-	// TrainAcc is the training accuracy over the epoch's outputs.
+	// TrainAcc is the training accuracy over the epoch's *labeled* outputs;
+	// masked seeds (label < 0) are excluded from both numerator and
+	// denominator. It is 0 when no labeled output was seen.
 	TrainAcc float64
 	// PeakBytes is the device peak across the epoch (0 without a device).
 	PeakBytes int64
@@ -152,6 +154,7 @@ func (e *Engine) TrainEpochMicroSeeds(seeds []int32) (EpochStats, error) {
 		e.Runner.Dev.ResetPeak()
 	}
 	totalOut := len(seeds)
+	labeled := 0
 	for _, micro := range plan.Micro {
 		outs := micro[len(micro)-1].NumDst
 		scale := float32(outs) / float32(totalOut)
@@ -161,13 +164,21 @@ func (e *Engine) TrainEpochMicroSeeds(seeds []int32) (EpochStats, error) {
 		}
 		st.Loss += res.Loss * float64(outs) / float64(totalOut)
 		st.TrainAcc += float64(res.Correct)
+		labeled += res.Count
 		st.TransferSeconds += res.TransferSeconds
 		st.ComputeSeconds += res.ComputeSeconds
 		if res.PeakBytes > st.PeakBytes {
 			st.PeakBytes = res.PeakBytes
 		}
 	}
-	st.TrainAcc /= float64(totalOut)
+	// Accuracy is over labeled outputs only: res.Count excludes masked
+	// seeds, so dividing by the seed count would deflate TrainAcc whenever
+	// any seed is unlabeled.
+	if labeled > 0 {
+		st.TrainAcc /= float64(labeled)
+	} else {
+		st.TrainAcc = 0
+	}
 	e.Runner.Step()
 	if e.Tracker != nil && st.PeakBytes > 0 {
 		e.Tracker.Observe(st.MaxEstimate, st.PeakBytes)
@@ -205,6 +216,7 @@ func (e *Engine) TrainEpochMini(k int, shuffleSeed uint64) (EpochStats, error) {
 		e.Runner.Dev.ResetPeak()
 	}
 	n := len(order)
+	labeled := 0
 	for i := 0; i < k; i++ {
 		lo, hi := i*n/k, (i+1)*n/k
 		if lo == hi {
@@ -221,6 +233,7 @@ func (e *Engine) TrainEpochMini(k int, shuffleSeed uint64) (EpochStats, error) {
 		}
 		st.Loss += res.Loss * float64(hi-lo) / float64(n)
 		st.TrainAcc += float64(res.Correct)
+		labeled += res.Count
 		st.TransferSeconds += res.TransferSeconds
 		st.ComputeSeconds += res.ComputeSeconds
 		if res.PeakBytes > st.PeakBytes {
@@ -228,7 +241,12 @@ func (e *Engine) TrainEpochMini(k int, shuffleSeed uint64) (EpochStats, error) {
 		}
 		e.Runner.Step()
 	}
-	st.TrainAcc /= float64(n)
+	// As in TrainEpochMicroSeeds: divide by labeled outputs, not seeds.
+	if labeled > 0 {
+		st.TrainAcc /= float64(labeled)
+	} else {
+		st.TrainAcc = 0
+	}
 	return st, nil
 }
 

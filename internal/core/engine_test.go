@@ -7,9 +7,13 @@ import (
 
 	"betty/internal/dataset"
 	"betty/internal/device"
+	"betty/internal/graph"
 	"betty/internal/memory"
 	"betty/internal/nn"
 	"betty/internal/reg"
+	"betty/internal/sample"
+	"betty/internal/tensor"
+	"betty/internal/train"
 )
 
 // memoryTracker is a tiny indirection so the test reads naturally.
@@ -389,5 +393,115 @@ func TestEstimateTracksMeasuredPeak(t *testing.T) {
 	ratio := est / meas
 	if ratio < 0.85 || ratio > 1.15 {
 		t.Fatalf("estimate %v vs measured %v (ratio %.2f) out of band", est, meas, ratio)
+	}
+}
+
+// constModel always predicts class 0 and has no parameters, so epoch
+// accuracies are exactly computable from the labels.
+type constModel struct{ classes int }
+
+func (m constModel) Params() []*tensor.Var { return nil }
+
+func (m constModel) Forward(tp *tensor.Tape, blocks []*graph.Block, x *tensor.Var) *tensor.Var {
+	out := tensor.New(blocks[len(blocks)-1].NumDst, m.classes)
+	for i := 0; i < out.Rows(); i++ {
+		out.Set(i, 0, 1)
+	}
+	return tensor.Leaf(out)
+}
+
+func (m constModel) Flops(blocks []*graph.Block) float64 { return 0 }
+
+func (m constModel) Config() nn.Config {
+	return nn.Config{InDim: 1, Hidden: 1, OutDim: m.classes, Layers: 2}
+}
+
+// constEngine builds an engine around constModel over d.
+func constEngine(d *dataset.Dataset) *Engine {
+	m := constModel{classes: d.NumClasses}
+	r := train.NewRunner(m, d, nn.NewAdam(m, 0.01), nil)
+	return New(r, sample.New([]int{3, 3}, 5), memory.Spec{Model: m.Config(), OptStatePerParam: 2}, 9)
+}
+
+// maskedAccuracy returns the class-0 rate over the labeled subset of seeds
+// plus the labeled count — constModel's exact expected accuracy.
+func maskedAccuracy(d *dataset.Dataset, seeds []int32) (float64, int) {
+	zeros, labeled := 0, 0
+	for _, nid := range seeds {
+		if d.Labels[nid] < 0 {
+			continue
+		}
+		labeled++
+		if d.Labels[nid] == 0 {
+			zeros++
+		}
+	}
+	if labeled == 0 {
+		return 0, 0
+	}
+	return float64(zeros) / float64(labeled), labeled
+}
+
+// EpochStats.TrainAcc must divide by the labeled-output count, not the seed
+// count: with a third of the seeds masked, the old code deflated accuracy
+// by exactly that third.
+func TestTrainAccCountsLabeledOnlyMicro(t *testing.T) {
+	d := testData(t)
+	for i := range d.Labels {
+		if i%3 == 0 {
+			d.Labels[i] = -1
+		}
+	}
+	eng := constEngine(d)
+	eng.FixedK = 2
+	seeds := d.TrainIdx[:120]
+	st, err := eng.TrainEpochMicroSeeds(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, labeled := maskedAccuracy(d, seeds)
+	if labeled == len(seeds) {
+		t.Fatal("fixture has no masked seeds")
+	}
+	if st.TrainAcc != want {
+		t.Fatalf("TrainAcc = %v, want %v over %d labeled of %d seeds", st.TrainAcc, want, labeled, len(seeds))
+	}
+}
+
+func TestTrainAccCountsLabeledOnlyMini(t *testing.T) {
+	d := testData(t)
+	for i := range d.Labels {
+		if i%4 == 0 {
+			d.Labels[i] = -1
+		}
+	}
+	eng := constEngine(d)
+	st, err := eng.TrainEpochMini(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAcc, labeled := maskedAccuracy(d, eng.Runner.Data.TrainIdx)
+	if labeled == len(eng.Runner.Data.TrainIdx) {
+		t.Fatal("fixture has no masked seeds")
+	}
+	if st.TrainAcc != wantAcc {
+		t.Fatalf("TrainAcc = %v, want %v", st.TrainAcc, wantAcc)
+	}
+}
+
+// A fully masked epoch must report TrainAcc 0, not NaN.
+func TestTrainAccAllMaskedIsZero(t *testing.T) {
+	d := testData(t)
+	for i := range d.Labels {
+		d.Labels[i] = -1
+	}
+	eng := constEngine(d)
+	eng.FixedK = 1
+	st, err := eng.TrainEpochMicroSeeds(d.TrainIdx[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TrainAcc != 0 || math.IsNaN(st.TrainAcc) {
+		t.Fatalf("TrainAcc = %v for fully masked epoch, want 0", st.TrainAcc)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ErrOOM is returned (wrapped) when an allocation would exceed capacity.
@@ -86,9 +87,11 @@ func (b *Buffer) Bytes() int64 { return b.bytes }
 func (b *Buffer) Label() string { return b.label }
 
 // Device is a simulated accelerator: an allocation ledger with capacity
-// plus accumulated transfer/compute clocks. It is not safe for concurrent
-// use; experiments are single-device, single-stream.
+// plus accumulated transfer/compute clocks. All methods are safe for
+// concurrent use: the ledger is guarded by a mutex so the chunk-parallel
+// evaluator and multi-goroutine training paths can share one device.
 type Device struct {
+	mu       sync.Mutex
 	capacity int64
 	used     int64
 	peak     int64
@@ -110,11 +113,19 @@ func New(capacity int64, model CostModel) *Device {
 func (d *Device) Capacity() int64 { return d.capacity }
 
 // Used returns the currently allocated bytes (after rounding).
-func (d *Device) Used() int64 { return d.used }
+func (d *Device) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
 
 // Peak returns the maximum of Used over the device's lifetime (or since
 // ResetPeak).
-func (d *Device) Peak() int64 { return d.peak }
+func (d *Device) Peak() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peak
+}
 
 // Alloc reserves n bytes (rounded up to AllocGranularity) under a label.
 // It fails with an error wrapping ErrOOM if capacity would be exceeded.
@@ -122,6 +133,8 @@ func (d *Device) Alloc(n int64, label string) (*Buffer, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("device: negative allocation %d (%s)", n, label)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	rounded := (n + AllocGranularity - 1) / AllocGranularity * AllocGranularity
 	if d.used+rounded > d.capacity {
 		return nil, fmt.Errorf("%w: %q needs %d bytes, %d of %d in use",
@@ -139,7 +152,12 @@ func (d *Device) Alloc(n int64, label string) (*Buffer, error) {
 
 // Free releases a buffer. Double frees are ignored.
 func (d *Device) Free(b *Buffer) {
-	if b == nil || b.freed {
+	if b == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if b.freed {
 		return
 	}
 	if _, ok := d.live[b.id]; !ok {
@@ -152,6 +170,8 @@ func (d *Device) Free(b *Buffer) {
 
 // FreeAll releases every live buffer (end of a training step).
 func (d *Device) FreeAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, b := range d.live {
 		d.used -= b.bytes
 		b.freed = true
@@ -160,12 +180,18 @@ func (d *Device) FreeAll() {
 }
 
 // ResetPeak sets the peak tracker to the current usage.
-func (d *Device) ResetPeak() { d.peak = d.used }
+func (d *Device) ResetPeak() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.peak = d.used
+}
 
 // Transfer accounts a host-to-device copy of n bytes and returns the
 // simulated seconds it took.
 func (d *Device) Transfer(n int64) float64 {
 	t := d.model.TransferTime(n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.transferTime += t
 	d.transferred += n
 	return t
@@ -175,6 +201,8 @@ func (d *Device) Transfer(n int64) float64 {
 // simulated seconds it took.
 func (d *Device) Compute(flops float64) float64 {
 	t := d.model.ComputeTime(flops)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.computeTime += t
 	return t
 }
@@ -189,27 +217,45 @@ func (d *Device) ComputeKernels(flops float64, kernels int) float64 {
 	if kernels > 0 {
 		t += float64(kernels) * d.model.KernelLatency
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.computeTime += t
 	return t
 }
 
 // TransferSeconds returns the accumulated simulated transfer time.
-func (d *Device) TransferSeconds() float64 { return d.transferTime }
+func (d *Device) TransferSeconds() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.transferTime
+}
 
 // ComputeSeconds returns the accumulated simulated compute time.
-func (d *Device) ComputeSeconds() float64 { return d.computeTime }
+func (d *Device) ComputeSeconds() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.computeTime
+}
 
 // BytesTransferred returns the accumulated host-to-device traffic.
-func (d *Device) BytesTransferred() int64 { return d.transferred }
+func (d *Device) BytesTransferred() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.transferred
+}
 
 // ResetClocks zeroes the transfer/compute accumulators.
 func (d *Device) ResetClocks() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.transferTime, d.computeTime, d.transferred = 0, 0, 0
 }
 
 // LiveBuffers returns the labels and sizes of live allocations sorted by
 // descending size — a debugging aid when chasing simulated OOM.
 func (d *Device) LiveBuffers() []Buffer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]Buffer, 0, len(d.live))
 	for _, b := range d.live {
 		out = append(out, *b)

@@ -2,6 +2,7 @@ package device
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -173,5 +174,42 @@ func TestLiveBuffersSorted(t *testing.T) {
 	}
 	if bufs[0].Label() != "large" || bufs[2].Label() != "small" {
 		t.Fatalf("not sorted by size: %v, %v, %v", bufs[0].Label(), bufs[1].Label(), bufs[2].Label())
+	}
+}
+
+// The ledger is shared by parallel evaluators and multi-goroutine training
+// paths; concurrent alloc/free/clock traffic must stay consistent (run with
+// -race to catch unguarded access).
+func TestConcurrentLedger(t *testing.T) {
+	d := New(GiB, DefaultCostModel())
+	const goroutines, rounds = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				buf, err := d.Alloc(4096, "worker")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				d.Transfer(4096)
+				d.ComputeKernels(1e6, 2)
+				_ = d.Used()
+				_ = d.Peak()
+				d.Free(buf)
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Used() != 0 {
+		t.Fatalf("used = %d after all frees", d.Used())
+	}
+	if d.Peak() < 4096 || d.Peak() > int64(goroutines)*4096 {
+		t.Fatalf("peak = %d out of expected range", d.Peak())
+	}
+	if d.BytesTransferred() != int64(goroutines*rounds)*4096 {
+		t.Fatalf("transferred = %d", d.BytesTransferred())
 	}
 }

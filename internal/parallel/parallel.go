@@ -1,0 +1,148 @@
+// Package parallel provides the worker pool behind every multi-core hot
+// path in the repository: the row-blocked matmul kernels, REG pair
+// emission, and chunk-parallel evaluation.
+//
+// The package is built around one invariant: *the decomposition of work is
+// independent of the worker count*. For splits [0, n) into ceil(n/grain)
+// contiguous shards determined only by n and grain; the number of workers
+// controls how many shards execute concurrently, never where the shard
+// boundaries fall. Any algorithm whose output depends only on the shard
+// structure (for example, per-shard partial sums combined in shard order)
+// is therefore bitwise-deterministic: SetWorkers(1) and SetWorkers(64)
+// produce identical bytes.
+//
+// The worker count defaults to GOMAXPROCS and can be overridden by the
+// BETTY_WORKERS environment variable or SetWorkers.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the current concurrency bound (always >= 1).
+var workers atomic.Int64
+
+func init() {
+	workers.Store(int64(defaultWorkers()))
+}
+
+// defaultWorkers returns GOMAXPROCS, overridden by BETTY_WORKERS when set
+// to a positive integer.
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if v := os.Getenv("BETTY_WORKERS"); v != "" {
+		if k, err := strconv.Atoi(v); err == nil && k > 0 {
+			n = k
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Workers returns the current worker count.
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers sets the worker count and returns the previous value; n <= 0
+// resets to the default (GOMAXPROCS / BETTY_WORKERS). Tests use the
+// returned value to restore the global:
+//
+//	defer parallel.SetWorkers(parallel.SetWorkers(8))
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = defaultWorkers()
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// NumShards returns the number of shards For(n, grain, ·) executes:
+// ceil(n/grain), with grain clamped to at least 1. It depends only on n
+// and grain — never on the worker count.
+func NumShards(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// For executes fn over [0, n) in contiguous shards of size grain (the last
+// shard may be shorter). Shard s covers [s*grain, min((s+1)*grain, n));
+// fn(lo, hi) must touch only state owned by that range. Up to Workers()
+// shards run concurrently; with one worker (or a single shard) everything
+// runs inline on the calling goroutine, in shard order.
+func For(n, grain int, fn func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	shards := NumShards(n, grain)
+	if shards == 0 {
+		return
+	}
+	w := Workers()
+	if w > shards {
+		w = shards
+	}
+	if w <= 1 {
+		for lo := 0; lo < n; lo += grain {
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				lo := s * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapReduce maps each shard of [0, n) to a value and folds the per-shard
+// values in ascending shard order, so the reduction tree — and with it any
+// floating-point result — is identical for every worker count. The fold is
+// left-to-right: reduce(...reduce(reduce(m0, m1), m2)..., mLast).
+func MapReduce[T any](n, grain int, mapFn func(lo, hi int) T, reduce func(acc, v T) T) T {
+	var zero T
+	if grain < 1 {
+		grain = 1
+	}
+	shards := NumShards(n, grain)
+	if shards == 0 {
+		return zero
+	}
+	parts := make([]T, shards)
+	For(n, grain, func(lo, hi int) {
+		parts[lo/grain] = mapFn(lo, hi)
+	})
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc = reduce(acc, p)
+	}
+	return acc
+}

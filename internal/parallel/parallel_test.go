@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"betty/internal/rng"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		defer SetWorkers(SetWorkers(w))
+		for _, tc := range []struct{ n, grain int }{
+			{0, 4}, {1, 4}, {7, 3}, {16, 4}, {100, 1}, {5, 100}, {33, 0},
+		} {
+			var mu sync.Mutex
+			hits := make([]int, tc.n)
+			For(tc.n, tc.grain, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", w, tc.n, tc.grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+// The shard boundaries must depend only on (n, grain), never on the worker
+// count — that is the invariant every deterministic caller relies on.
+func TestForShardStructureIndependentOfWorkers(t *testing.T) {
+	collect := func(w int) map[[2]int]bool {
+		defer SetWorkers(SetWorkers(w))
+		var mu sync.Mutex
+		shards := map[[2]int]bool{}
+		For(103, 7, func(lo, hi int) {
+			mu.Lock()
+			shards[[2]int{lo, hi}] = true
+			mu.Unlock()
+		})
+		return shards
+	}
+	one, eight := collect(1), collect(8)
+	if len(one) != len(eight) {
+		t.Fatalf("shard counts differ: %d vs %d", len(one), len(eight))
+	}
+	for s := range one {
+		if !eight[s] {
+			t.Fatalf("shard %v missing under 8 workers", s)
+		}
+	}
+	if want := NumShards(103, 7); len(one) != want {
+		t.Fatalf("NumShards = %d but For ran %d shards", want, len(one))
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	if prev := SetWorkers(3); prev != orig {
+		t.Fatalf("SetWorkers returned %d, want previous %d", prev, orig)
+	}
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0) // resets to default
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset", Workers())
+	}
+}
+
+// MapReduce must produce bitwise-identical floating-point sums for any
+// worker count, because the fold happens in shard order on one goroutine.
+func TestMapReduceDeterministicFloats(t *testing.T) {
+	r := rng.New(11)
+	vals := make([]float32, 10_000)
+	for i := range vals {
+		// wildly mixed magnitudes to make summation order observable
+		vals[i] = r.Float32() * float32(int32(1)<<(uint(r.Intn(24))))
+	}
+	sum := func(workers int) float32 {
+		defer SetWorkers(SetWorkers(workers))
+		return MapReduce(len(vals), 64, func(lo, hi int) float32 {
+			var s float32
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		}, func(a, b float32) float32 { return a + b })
+	}
+	want := sum(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := sum(w); got != want {
+			t.Fatalf("workers=%d sum %v != serial %v", w, got, want)
+		}
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(0, 8, func(lo, hi int) int { return 1 }, func(a, b int) int { return a + b })
+	if got != 0 {
+		t.Fatalf("empty MapReduce = %d", got)
+	}
+}

@@ -5,7 +5,25 @@ import (
 	"sort"
 
 	"betty/internal/graph"
+	"betty/internal/parallel"
 	"betty/internal/partition"
+)
+
+// wedge is one weighted REG edge: an unordered destination pair (a < b)
+// and its (partially) accumulated Gram weight.
+type wedge struct {
+	a, b int32
+	w    float32
+}
+
+// srcShardGrain is the number of sources each emission shard owns and
+// keyShardGrain the number of destination ids each merge shard owns. Both
+// are fixed constants — never derived from the worker count — so the shard
+// structure, and with it the floating-point accumulation tree, is identical
+// no matter how many workers execute it (see package parallel).
+const (
+	srcShardGrain = 512
+	keyShardGrain = 1024
 )
 
 // BuildREGFast constructs the same redundancy-embedded graph as BuildREG
@@ -15,9 +33,14 @@ import (
 // It exploits that c_ij = Σ_k a_ki·a_kj only receives contributions from
 // pairs of destinations fed by the same source: for every source it walks
 // the source's (deduplicated, multiplicity-counted) destination list once
-// and emits one weighted pair per destination combination, then sorts and
-// merges the pair stream. Non-output columns never enter the stream, so the
+// and emits one weighted pair per destination combination. The per-source
+// emission is sharded across workers (each shard with private mult/scratch
+// buffers) and the sorted per-shard pair streams are merged in parallel by
+// destination range, accumulating duplicate pairs in shard — that is,
+// source — order. Non-output columns never enter the stream, so the
 // restriction and self-loop removal of Algorithm 1 lines 5-7 are free.
+//
+// The result is bitwise-identical for every parallel.SetWorkers value.
 func BuildREGFast(last *graph.Block) (*partition.WeightedGraph, error) {
 	if err := last.Validate(); err != nil {
 		return nil, fmt.Errorf("reg: invalid block: %w", err)
@@ -45,23 +68,32 @@ func BuildREGFast(last *graph.Block) (*partition.WeightedGraph, error) {
 		}
 	}
 
-	// Emit weighted destination pairs per source. Parallel edges give a
-	// source multiplicity m_ki toward destination i; the Gram contribution
-	// of source k to pair (i, j) is m_ki * m_kj, matching AᵀA exactly.
-	type wpair struct {
-		a, b int32
-		w    float32
-	}
-	var pairs []wpair
+	// Emit weighted destination pairs, one shard per contiguous source
+	// range, then merge the per-shard streams into a deduplicated edge list.
+	shards := make([][]wedge, parallel.NumShards(nSrc, srcShardGrain))
+	parallel.For(nSrc, srcShardGrain, func(lo, hi int) {
+		shards[lo/srcShardGrain] = emitPairs(counts, srcDst, nDst, lo, hi)
+	})
+	u, v, w := mergeShards(shards, nDst)
+	return partition.NewWeightedGraph(nDst, u, v, w, nil)
+}
+
+// emitPairs walks sources [lo, hi) and returns their weighted destination
+// pairs, sorted by (a, b) with duplicates merged. Parallel edges give a
+// source multiplicity m_ki toward destination i; the Gram contribution of
+// source k to pair (i, j) is m_ki * m_kj, matching AᵀA exactly. The sort is
+// stable, so duplicate pairs accumulate in source order.
+func emitPairs(counts, srcDst []int32, nDst, lo, hi int) []wedge {
+	var pairs []wedge
 	scratch := make([]int32, 0, 64) // distinct destinations of one source
 	mult := make([]float32, nDst)   // multiplicity accumulator
-	for s := 0; s < nSrc; s++ {
-		lo, hi := counts[s], counts[s+1]
-		if hi-lo < 2 {
+	for s := lo; s < hi; s++ {
+		plo, phi := counts[s], counts[s+1]
+		if phi-plo < 2 {
 			continue
 		}
 		scratch = scratch[:0]
-		for p := lo; p < hi; p++ {
+		for p := plo; p < phi; p++ {
 			d := srcDst[p]
 			if mult[d] == 0 {
 				scratch = append(scratch, d)
@@ -74,33 +106,100 @@ func BuildREGFast(last *graph.Block) (*partition.WeightedGraph, error) {
 				if a > b {
 					a, b = b, a
 				}
-				pairs = append(pairs, wpair{a, b, mult[scratch[i]] * mult[scratch[j]]})
+				pairs = append(pairs, wedge{a, b, mult[scratch[i]] * mult[scratch[j]]})
 			}
 		}
 		for _, d := range scratch {
 			mult[d] = 0
 		}
 	}
-
-	// Sort and merge the pair stream, then hand the edge list to the
-	// partitioner's graph builder.
-	sort.Slice(pairs, func(i, j int) bool {
+	sort.SliceStable(pairs, func(i, j int) bool {
 		if pairs[i].a != pairs[j].a {
 			return pairs[i].a < pairs[j].a
 		}
 		return pairs[i].b < pairs[j].b
 	})
-	u := make([]int32, 0, len(pairs))
-	v := make([]int32, 0, len(pairs))
-	w := make([]float32, 0, len(pairs))
+	out := pairs[:0]
 	for _, p := range pairs {
-		if n := len(u); n > 0 && u[n-1] == p.a && v[n-1] == p.b {
-			w[n-1] += p.w
+		if n := len(out); n > 0 && out[n-1].a == p.a && out[n-1].b == p.b {
+			out[n-1].w += p.w
 		} else {
-			u = append(u, p.a)
-			v = append(v, p.b)
-			w = append(w, p.w)
+			out = append(out, p)
 		}
 	}
-	return partition.NewWeightedGraph(nDst, u, v, w, nil)
+	return out
+}
+
+// mergeShards merges the sorted, locally-deduplicated shard streams into
+// one deduplicated (u, v, w) edge list sorted by (a, b). The destination-id
+// space is split into fixed ranges merged in parallel; within a range a
+// k-way merge accumulates equal pairs across shards in shard order, which
+// together with the stable in-shard sort means every edge weight is summed
+// in ascending source order regardless of the worker count.
+func mergeShards(shards [][]wedge, nDst int) (u, v []int32, w []float32) {
+	merged := make([][]wedge, parallel.NumShards(nDst, keyShardGrain))
+	parallel.For(nDst, keyShardGrain, func(aLo, aHi int) {
+		parts := make([][]wedge, 0, len(shards))
+		for _, sh := range shards {
+			lo := sort.Search(len(sh), func(i int) bool { return sh[i].a >= int32(aLo) })
+			hi := sort.Search(len(sh), func(i int) bool { return sh[i].a >= int32(aHi) })
+			if lo < hi {
+				parts = append(parts, sh[lo:hi])
+			}
+		}
+		merged[aLo/keyShardGrain] = mergeParts(parts)
+	})
+	total := 0
+	for _, m := range merged {
+		total += len(m)
+	}
+	u = make([]int32, 0, total)
+	v = make([]int32, 0, total)
+	w = make([]float32, 0, total)
+	for _, m := range merged {
+		for _, e := range m {
+			u = append(u, e.a)
+			v = append(v, e.b)
+			w = append(w, e.w)
+		}
+	}
+	return u, v, w
+}
+
+// mergeParts k-way merges sorted streams of unique pairs, summing the
+// weights of pairs present in several streams in stream order.
+func mergeParts(parts [][]wedge) []wedge {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]wedge, 0, total)
+	idx := make([]int, len(parts))
+	for {
+		best := -1
+		var bk wedge
+		for pi, p := range parts {
+			if idx[pi] >= len(p) {
+				continue
+			}
+			c := p[idx[pi]]
+			if best < 0 || c.a < bk.a || (c.a == bk.a && c.b < bk.b) {
+				best, bk = pi, c
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		var sum float32
+		for pi, p := range parts {
+			if idx[pi] < len(p) && p[idx[pi]].a == bk.a && p[idx[pi]].b == bk.b {
+				sum += p[idx[pi]].w
+				idx[pi]++
+			}
+		}
+		out = append(out, wedge{bk.a, bk.b, sum})
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"betty/internal/graph"
+	"betty/internal/parallel"
 	"betty/internal/rng"
 )
 
@@ -130,5 +131,61 @@ func TestFastEmptyNeighborhoods(t *testing.T) {
 	}
 	if fast.N != 2 || len(fast.Adj) != 0 {
 		t.Fatalf("expected an empty REG, got %d edges", len(fast.Adj))
+	}
+}
+
+// BuildREGFast must produce a bitwise-identical WeightedGraph (same CSR
+// arrays, same float bits) for every worker count: the shard structure is
+// fixed by constants, and weights accumulate in source order regardless of
+// how many workers execute the shards. The block is sized well past
+// srcShardGrain so the emission genuinely runs multi-shard.
+func TestFastParallelDeterminism(t *testing.T) {
+	r := rng.New(3)
+	nDst := 400
+	pool := int32(3000)
+	neigh := make([][]int32, nDst)
+	for i := range neigh {
+		deg := 2 + r.Intn(12)
+		for j := 0; j < deg; j++ {
+			neigh[i] = append(neigh[i], r.Int31n(pool))
+		}
+	}
+	dst := make([]int32, nDst)
+	for i := range dst {
+		dst[i] = int32(i)
+	}
+	b := makeBlockQuiet(dst, neigh)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumSrc <= srcShardGrain {
+		t.Fatalf("block has %d sources; test needs more than one shard (grain %d)", b.NumSrc, srcShardGrain)
+	}
+
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+	want, err := BuildREGFast(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		parallel.SetWorkers(w)
+		got, err := BuildREGFast(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != want.N || len(got.Ptr) != len(want.Ptr) || len(got.Adj) != len(want.Adj) {
+			t.Fatalf("workers=%d: graph shape differs", w)
+		}
+		for i := range want.Ptr {
+			if got.Ptr[i] != want.Ptr[i] {
+				t.Fatalf("workers=%d: Ptr[%d] = %d, serial %d", w, i, got.Ptr[i], want.Ptr[i])
+			}
+		}
+		for i := range want.Adj {
+			if got.Adj[i] != want.Adj[i] || got.EWt[i] != want.EWt[i] {
+				t.Fatalf("workers=%d: edge %d (%d, %v) differs from serial (%d, %v)",
+					w, i, got.Adj[i], got.EWt[i], want.Adj[i], want.EWt[i])
+			}
+		}
 	}
 }

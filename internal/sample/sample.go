@@ -18,16 +18,21 @@ const FullNeighbors = -1
 // ordered input-layer first, matching the (10, 25, ...) tuples in the paper:
 // Fanouts[len-1] bounds the neighbors of the seed (output) nodes, and
 // Fanouts[0] bounds the outermost (input) layer.
+//
+// A Sampler holds no mutable state: every Sample call derives its random
+// streams from (seed, seeds[0], layer), so results depend only on the
+// call's arguments — never on how many Sample calls preceded it — and
+// concurrent Sample calls are safe.
 type Sampler struct {
 	fanouts []int
 	replace bool
-	r       *rng.RNG
+	seed    uint64
 }
 
 // New returns a sampler with the given input-first fanouts and RNG seed.
 // A fanout of FullNeighbors (-1) disables the bound for that layer.
 func New(fanouts []int, seed uint64) *Sampler {
-	return &Sampler{fanouts: append([]int(nil), fanouts...), r: rng.New(seed)}
+	return &Sampler{fanouts: append([]int(nil), fanouts...), seed: seed}
 }
 
 // NewWithReplacement returns a sampler that samples neighbors with
@@ -59,16 +64,39 @@ func (s *Sampler) Sample(g *graph.Graph, seeds []int32) ([]*graph.Block, error) 
 	blocks := make([]*graph.Block, len(s.fanouts))
 	frontier := append([]int32(nil), seeds...)
 	for l := len(s.fanouts) - 1; l >= 0; l-- {
-		b := s.sampleLayer(g, frontier, s.fanouts[l])
+		b := s.sampleLayer(g, frontier, s.fanouts[l], s.layerRNG(seeds, l))
 		blocks[l] = b
 		frontier = b.SrcNID
 	}
 	return blocks, nil
 }
 
+// layerRNG derives the generator for one layer of one Sample call from the
+// sampler seed, the call's first seed node, and the layer index. Two calls
+// with the same seed set draw identical neighborhoods regardless of call
+// order or interleaving, which is what makes chunk-parallel evaluation
+// deterministic.
+func (s *Sampler) layerRNG(seeds []int32, layer int) *rng.RNG {
+	var s0 uint64
+	if len(seeds) > 0 {
+		s0 = uint64(uint32(seeds[0]))
+	}
+	h := mix64(s.seed ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ (s0 + 0xbf58476d1ce4e5b9))
+	h = mix64(h ^ (uint64(layer)+1)*0x94d049bb133111eb)
+	return rng.New(h)
+}
+
+// mix64 is the splitmix64 finalizer, used to hash the stream key.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // sampleLayer builds one bipartite block: for every destination in frontier
-// it draws up to fanout in-neighbors from g.
-func (s *Sampler) sampleLayer(g *graph.Graph, frontier []int32, fanout int) *graph.Block {
+// it draws up to fanout in-neighbors from g using the layer's derived RNG.
+func (s *Sampler) sampleLayer(g *graph.Graph, frontier []int32, fanout int, r *rng.RNG) *graph.Block {
 	nDst := len(frontier)
 	local := make(map[int32]int32, nDst*2)
 	srcNID := make([]int32, nDst, nDst*2)
@@ -84,7 +112,7 @@ func (s *Sampler) sampleLayer(g *graph.Graph, frontier []int32, fanout int) *gra
 
 	for d := 0; d < nDst; d++ {
 		neigh, eids := g.InNeighbors(frontier[d])
-		chosenSrc, chosenEID := s.choose(neigh, eids, fanout, scratchSrc, scratchEID)
+		chosenSrc, chosenEID := s.choose(r, neigh, eids, fanout, scratchSrc, scratchEID)
 		for i, u := range chosenSrc {
 			li, ok := local[u]
 			if !ok {
@@ -119,7 +147,7 @@ func (s *Sampler) sampleLayer(g *graph.Graph, frontier []int32, fanout int) *gra
 // choose selects up to fanout entries of neigh/eids. With fanout disabled or
 // enough capacity it returns the inputs unchanged; otherwise it reservoir-
 // samples without replacement (or draws uniformly with replacement).
-func (s *Sampler) choose(neigh, eids []int32, fanout int, scratchSrc, scratchEID []int32) ([]int32, []int32) {
+func (s *Sampler) choose(r *rng.RNG, neigh, eids []int32, fanout int, scratchSrc, scratchEID []int32) ([]int32, []int32) {
 	if fanout == FullNeighbors || len(neigh) <= fanout {
 		return neigh, eids
 	}
@@ -127,7 +155,7 @@ func (s *Sampler) choose(neigh, eids []int32, fanout int, scratchSrc, scratchEID
 	scratchEID = scratchEID[:0]
 	if s.replace {
 		for i := 0; i < fanout; i++ {
-			j := s.r.Intn(len(neigh))
+			j := r.Intn(len(neigh))
 			scratchSrc = append(scratchSrc, neigh[j])
 			scratchEID = append(scratchEID, eids[j])
 		}
@@ -137,7 +165,7 @@ func (s *Sampler) choose(neigh, eids []int32, fanout int, scratchSrc, scratchEID
 	scratchSrc = append(scratchSrc, neigh[:fanout]...)
 	scratchEID = append(scratchEID, eids[:fanout]...)
 	for i := fanout; i < len(neigh); i++ {
-		j := s.r.Intn(i + 1)
+		j := r.Intn(i + 1)
 		if j < fanout {
 			scratchSrc[j] = neigh[i]
 			scratchEID[j] = eids[i]

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"betty/internal/parallel"
 	"betty/internal/rng"
 )
 
@@ -121,28 +122,47 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
+// rowGrain sizes the row blocks the parallel kernels hand to each worker:
+// large enough that a shard amortizes goroutine overhead (~64k multiply-
+// adds), small enough that big matrices fan out across every core. It is a
+// function of the row cost only — never of the worker count — so the shard
+// structure, and with it the result, is identical for any parallelism.
+func rowGrain(flopsPerRow int) int {
+	const target = 1 << 16
+	g := target / (flopsPerRow + 1)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // matMulInto computes out (+)= a @ b with an ikj loop order that keeps the
 // inner loop contiguous for both b and out. When accum is true the product
-// is added to out instead of overwriting it.
+// is added to out instead of overwriting it. Row blocks run in parallel;
+// each worker owns a disjoint range of output rows and accumulates in the
+// same k order as the serial kernel, so the result is bitwise-identical
+// for any worker count.
 func matMulInto(out, a, b *Tensor, accum bool) {
 	n := b.ColsN
 	if !accum {
 		out.Zero()
 	}
-	for i := 0; i < a.RowsN; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.ColsN; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+	parallel.For(a.RowsN, rowGrain(a.ColsN*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k := 0; k < a.ColsN; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*n : (k+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMulTA computes aᵀ @ b into a new tensor.
@@ -152,19 +172,25 @@ func MatMulTA(a, b *Tensor) *Tensor {
 	}
 	out := New(a.ColsN, b.ColsN)
 	n := b.ColsN
-	for k := 0; k < a.RowsN; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
+	// Workers own disjoint ranges of output rows (= columns of a). Every
+	// worker walks k in ascending order, exactly like the serial kernel, so
+	// each output element accumulates its terms in the identical order.
+	parallel.For(a.ColsN, rowGrain(a.RowsN*n), func(lo, hi int) {
+		for k := 0; k < a.RowsN; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -174,18 +200,20 @@ func MatMulTB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %dx%d @ᵀ %dx%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
 	}
 	out := New(a.RowsN, b.RowsN)
-	for i := 0; i < a.RowsN; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.RowsN; j++ {
-			brow := b.Row(j)
-			var s float32
-			for k, av := range arow {
-				s += av * brow[k]
+	parallel.For(a.RowsN, rowGrain(a.ColsN*b.RowsN), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.RowsN; j++ {
+				brow := b.Row(j)
+				var s float32
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
 			}
-			orow[j] = s
 		}
-	}
+	})
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"betty/internal/parallel"
 	"betty/internal/rng"
 )
 
@@ -183,5 +184,49 @@ func TestArgmax(t *testing.T) {
 	got := Argmax(a)
 	if got[0] != 1 || got[1] != 0 {
 		t.Fatalf("Argmax = %v", got)
+	}
+}
+
+// The parallel matmul kernels must be bitwise-identical to the serial path
+// for any worker count: each worker owns disjoint output rows and sums each
+// element's terms in the same order as the serial loop.
+func TestMatMulParallelDeterminism(t *testing.T) {
+	r := rng.New(99)
+	// Dimensions chosen so rowGrain yields several shards per kernel.
+	a := New(300, 80)
+	a.Randn(r, 1)
+	b := New(80, 64)
+	b.Randn(r, 1)
+	ta := New(300, 90) // for MatMulTA: aᵀ(90 out rows) @ b2
+	ta.Randn(r, 1)
+	b2 := New(300, 64)
+	b2.Randn(r, 1)
+	tb := New(200, 80) // for MatMulTB: a @ tbᵀ
+	tb.Randn(r, 1)
+
+	type kernel struct {
+		name string
+		run  func() *Tensor
+	}
+	kernels := []kernel{
+		{"MatMul", func() *Tensor { return MatMul(a, b) }},
+		{"MatMulTA", func() *Tensor { return MatMulTA(ta, b2) }},
+		{"MatMulTB", func() *Tensor { return MatMulTB(a, tb) }},
+	}
+	for _, k := range kernels {
+		defer parallel.SetWorkers(parallel.SetWorkers(1))
+		want := k.run()
+		for _, w := range []int{2, 4, 8} {
+			parallel.SetWorkers(w)
+			got := k.run()
+			if !got.SameShape(want) {
+				t.Fatalf("%s workers=%d: shape %dx%d != %dx%d", k.name, w, got.RowsN, got.ColsN, want.RowsN, want.ColsN)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%s workers=%d: element %d is %v, serial %v", k.name, w, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"betty/internal/device"
 	"betty/internal/graph"
 	"betty/internal/nn"
+	"betty/internal/parallel"
 	"betty/internal/tensor"
 )
 
@@ -214,41 +215,67 @@ func (r *Runner) Step() {
 }
 
 // sampler is the subset of sample.Sampler the evaluator needs; declared
-// here to avoid a dependency cycle in tests that fake it.
+// here to avoid a dependency cycle in tests that fake it. Sample must be
+// safe for concurrent calls (the evaluator runs chunks in parallel).
 type sampler interface {
 	Sample(g *graph.Graph, seeds []int32) ([]*graph.Block, error)
 }
 
 // Evaluate computes accuracy over seeds, processing them in chunks of
 // chunkSize with the given sampler (no device accounting, no gradients).
+// Chunks run in parallel: the sampler derives each chunk's random stream
+// from the chunk's own seeds, so the result is identical for any worker
+// count and to a serial evaluation. Masked seeds (label < 0) are excluded
+// from both numerator and denominator, matching RunMicroBatch; it is an
+// error only when no labeled seed was seen at all.
 func (r *Runner) Evaluate(s sampler, seeds []int32, chunkSize int) (float64, error) {
 	if chunkSize <= 0 {
 		chunkSize = 1024
 	}
-	correct, count := 0, 0
-	for lo := 0; lo < len(seeds); lo += chunkSize {
-		hi := lo + chunkSize
-		if hi > len(seeds) {
-			hi = len(seeds)
-		}
-		blocks, err := s.Sample(r.Data.Graph, seeds[lo:hi])
-		if err != nil {
-			return 0, err
-		}
-		x := r.Data.GatherFeatures(blocks[0].SrcNID)
-		labels := r.Data.GatherLabels(blocks[len(blocks)-1].DstNID)
-		tp := tensor.NewTape()
-		logits := r.Model.Forward(tp, blocks, tensor.Leaf(x))
-		pred := tensor.Argmax(logits.Value)
-		for i, p := range pred {
-			count++
-			if p == labels[i] {
-				correct++
+	type chunkResult struct {
+		correct, count int
+		err            error
+	}
+	nChunks := (len(seeds) + chunkSize - 1) / chunkSize
+	results := make([]chunkResult, nChunks)
+	parallel.For(nChunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			clo := c * chunkSize
+			chi := clo + chunkSize
+			if chi > len(seeds) {
+				chi = len(seeds)
+			}
+			blocks, err := s.Sample(r.Data.Graph, seeds[clo:chi])
+			if err != nil {
+				results[c].err = err
+				continue
+			}
+			x := r.Data.GatherFeatures(blocks[0].SrcNID)
+			labels := r.Data.GatherLabels(blocks[len(blocks)-1].DstNID)
+			tp := tensor.NewTape()
+			logits := r.Model.Forward(tp, blocks, tensor.Leaf(x))
+			pred := tensor.Argmax(logits.Value)
+			for i, p := range pred {
+				if labels[i] < 0 {
+					continue
+				}
+				results[c].count++
+				if p == labels[i] {
+					results[c].correct++
+				}
 			}
 		}
+	})
+	correct, count := 0, 0
+	for _, cr := range results {
+		if cr.err != nil {
+			return 0, cr.err
+		}
+		correct += cr.correct
+		count += cr.count
 	}
 	if count == 0 {
-		return 0, fmt.Errorf("train: no evaluation nodes")
+		return 0, fmt.Errorf("train: no labeled evaluation nodes")
 	}
 	return float64(correct) / float64(count), nil
 }

@@ -6,9 +6,12 @@ import (
 
 	"betty/internal/dataset"
 	"betty/internal/device"
+	"betty/internal/graph"
 	"betty/internal/nn"
+	"betty/internal/parallel"
 	"betty/internal/rng"
 	"betty/internal/sample"
+	"betty/internal/tensor"
 )
 
 func testData(t *testing.T) *dataset.Dataset {
@@ -206,5 +209,126 @@ func TestLossDecreases(t *testing.T) {
 	}
 	if last >= first {
 		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+// maskedData returns a dataset where every third node is unlabeled
+// (label < 0), the fixture for the masked-accuracy fixes.
+func maskedData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := testData(t)
+	for i := range d.Labels {
+		if i%3 == 0 {
+			d.Labels[i] = -1
+		}
+	}
+	return d
+}
+
+// constModel is a parameterless Model that always predicts class 0,
+// making expected accuracies exactly computable from the labels.
+type constModel struct{ classes int }
+
+func (m constModel) Params() []*tensor.Var { return nil }
+
+func (m constModel) Forward(tp *tensor.Tape, blocks []*graph.Block, x *tensor.Var) *tensor.Var {
+	out := tensor.New(blocks[len(blocks)-1].NumDst, m.classes)
+	for i := 0; i < out.Rows(); i++ {
+		out.Set(i, 0, 1)
+	}
+	return tensor.Leaf(out)
+}
+
+func (m constModel) Flops(blocks []*graph.Block) float64 { return 0 }
+
+func (m constModel) Config() nn.Config {
+	return nn.Config{InDim: 1, Hidden: 1, OutDim: m.classes, Layers: 2}
+}
+
+// Evaluate must score labeled seeds only: with a model that always predicts
+// class 0, accuracy is exactly (#labeled seeds with label 0) / (#labeled).
+// The old code counted masked seeds as wrong, deflating the denominator.
+func TestEvaluateSkipsMaskedLabels(t *testing.T) {
+	d := maskedData(t)
+	r := NewRunner(constModel{classes: d.NumClasses}, d, nn.NewAdam(constModel{}, 0.01), nil)
+	s := sample.New([]int{3, 3}, 11)
+	got, err := r.Evaluate(s, d.TestIdx, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros, labeled := 0, 0
+	for _, nid := range d.TestIdx {
+		switch {
+		case d.Labels[nid] < 0:
+		case d.Labels[nid] == 0:
+			zeros++
+			labeled++
+		default:
+			labeled++
+		}
+	}
+	want := float64(zeros) / float64(labeled)
+	if got != want {
+		t.Fatalf("Evaluate = %v, want %v (%d/%d labeled)", got, want, zeros, labeled)
+	}
+}
+
+func TestEvaluateAllMaskedErrors(t *testing.T) {
+	d := testData(t)
+	for i := range d.Labels {
+		d.Labels[i] = -1
+	}
+	r := testRunner(t, d, nil)
+	s := sample.New([]int{3, 3}, 11)
+	if _, err := r.Evaluate(s, d.TestIdx, 64); err == nil {
+		t.Fatal("evaluation over fully masked seeds must error")
+	}
+}
+
+// The chunk-parallel evaluator must return the identical accuracy for any
+// worker count (order-independent sampling + integer chunk sums).
+func TestEvaluateParallelDeterminism(t *testing.T) {
+	d := testData(t)
+	r := testRunner(t, d, nil)
+	s := sample.New([]int{5, 5}, 3)
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+	want, err := r.Evaluate(s, d.TestIdx, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		parallel.SetWorkers(w)
+		got, err := r.Evaluate(s, d.TestIdx, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: accuracy %v != serial %v", w, got, want)
+		}
+	}
+}
+
+// RunMicroBatch already masked labels; pin that behaviour with the fixture.
+func TestRunMicroBatchMaskedCount(t *testing.T) {
+	d := maskedData(t)
+	r := NewRunner(constModel{classes: d.NumClasses}, d, nn.NewAdam(constModel{}, 0.01), nil)
+	s := sample.New([]int{5, 5}, 1)
+	seeds := d.TrainIdx[:90]
+	blocks, err := s.Sample(d.Graph, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunMicroBatch(blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled := 0
+	for _, nid := range seeds {
+		if d.Labels[nid] >= 0 {
+			labeled++
+		}
+	}
+	if res.Count != labeled {
+		t.Fatalf("Count = %d, want %d labeled of %d seeds", res.Count, labeled, len(seeds))
 	}
 }
