@@ -24,6 +24,7 @@ import (
 	"betty/internal/rng"
 	"betty/internal/sample"
 	"betty/internal/tensor"
+	"betty/internal/train"
 )
 
 // benchScale shrinks every experiment's dataset for benchmarking; the
@@ -244,6 +245,51 @@ func benchForwardBackward(b *testing.B, agg nn.Aggregator) {
 }
 
 func BenchmarkSAGEMeanForwardBackward(b *testing.B) { benchForwardBackward(b, nn.Mean) }
+
+// BenchmarkTrainStep measures the full training step — micro-batch
+// forward+backward plus the optimizer — across worker counts and with the
+// tape buffer pool on and off, the sweep cmd/bettybench -step records in
+// BENCH_step.json. Sub-benchmark names carry both knobs so speedups and
+// allocation reductions read directly off `go test -bench TrainStep`.
+func BenchmarkTrainStep(b *testing.B) {
+	ds := benchDataset(b)
+	seeds := ds.TrainIdx
+	if len(seeds) > 1024 {
+		seeds = seeds[:1024]
+	}
+	blocks, err := sample.New([]int{5, 10}, 1).Sample(ds.Graph, seeds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := nn.NewGraphSAGE(nn.Config{
+		InDim: ds.FeatureDim(), Hidden: 64, OutDim: ds.NumClasses,
+		Layers: 2, Aggregator: nn.Mean,
+	}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := train.NewRunner(model, ds, nn.NewAdam(model, 0.01), nil)
+	for _, pool := range []bool{true, false} {
+		for _, w := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("workers=%d/pool=on", w)
+			if !pool {
+				name = fmt.Sprintf("workers=%d/pool=off", w)
+			}
+			b.Run(name, func(b *testing.B) {
+				defer parallel.SetWorkers(parallel.SetWorkers(w))
+				defer tensor.SetPooling(tensor.SetPooling(pool))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := runner.RunMicroBatch(blocks, 1); err != nil {
+						b.Fatal(err)
+					}
+					runner.Step()
+				}
+			})
+		}
+	}
+}
 func BenchmarkSAGEPoolForwardBackward(b *testing.B) { benchForwardBackward(b, nn.Pool) }
 func BenchmarkSAGELSTMForwardBackward(b *testing.B) { benchForwardBackward(b, nn.LSTM) }
 

@@ -6,6 +6,7 @@
 //	bettybench -list
 //	bettybench -exp fig12 [-scale 0.5] [-epochs 10] [-csv] [-v]
 //	bettybench -exp all
+//	bettybench -step BENCH_step.json [-scale 0.2]
 package main
 
 import (
@@ -25,8 +26,24 @@ func main() {
 		epochs  = flag.Int("epochs", 0, "override training epoch counts")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		verbose = flag.Bool("v", false, "log progress to stderr")
+		step    = flag.String("step", "", "write the training-step perf sweep (workers x pool) to this JSON file")
 	)
 	flag.Parse()
+
+	if *step != "" {
+		rep, err := bench.WriteStepBench(*step, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bettybench: step bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("%-22s %12d ns/step %12d B/step %8d allocs/step\n",
+				r.Name, r.NsPerStep, r.BytesPerStep, r.AllocsPerStep)
+		}
+		fmt.Printf("speedup(8w, pooled): %.2fx   alloc reduction (pool): %.1fx   byte reduction (pool): %.0fx   (host CPUs: %d)\n",
+			rep.SpeedupPooled8W, rep.AllocReduction, rep.ByteReduction, rep.HostCPUs)
+		return
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"betty/internal/dataset"
+	"betty/internal/graph"
+	"betty/internal/nn"
+	"betty/internal/parallel"
+	"betty/internal/rng"
+	"betty/internal/sample"
+	"betty/internal/tensor"
+	"betty/internal/train"
+)
+
+// The step benchmark measures the training hot path this repository
+// optimizes: one micro-batch forward+backward+optimizer step of a 2-layer
+// GraphSAGE(Mean) model, swept over worker counts and the tape buffer
+// pool. Its output, BENCH_step.json, is the perf-trajectory baseline
+// future PRs diff against.
+
+// StepBenchResult is one measured cell of the step sweep.
+type StepBenchResult struct {
+	// Name is "workers=W/pool=on|off".
+	Name string `json:"name"`
+	// Workers is the parallel.SetWorkers bound used for the run.
+	Workers int `json:"workers"`
+	// Pool reports whether the tape buffer pool was enabled.
+	Pool bool `json:"pool"`
+	// NsPerStep, BytesPerStep, and AllocsPerStep come straight from
+	// testing.Benchmark over RunMicroBatch+Step.
+	NsPerStep     int64 `json:"ns_per_step"`
+	BytesPerStep  int64 `json:"bytes_per_step"`
+	AllocsPerStep int64 `json:"allocs_per_step"`
+}
+
+// StepBenchReport is the schema of BENCH_step.json.
+type StepBenchReport struct {
+	// Dataset and Model describe the benchmarked workload.
+	Dataset string `json:"dataset"`
+	Model   string `json:"model"`
+	// Seeds is the micro-batch output size, Edges the total block edges.
+	Seeds int `json:"seeds"`
+	Edges int `json:"edges"`
+	// HostCPUs is GOMAXPROCS-visible parallelism of the measuring host —
+	// speedups above it are not physically observable.
+	HostCPUs int `json:"host_cpus"`
+	// Results holds the measured sweep cells.
+	Results []StepBenchResult `json:"results"`
+	// SpeedupPooled8W is ns/step at workers=1 over workers=8, pool on.
+	SpeedupPooled8W float64 `json:"speedup_pooled_8w"`
+	// AllocReduction is allocs/step unpooled over pooled (workers=1).
+	AllocReduction float64 `json:"alloc_reduction"`
+	// ByteReduction is bytes/step unpooled over pooled (workers=1) — the
+	// GC-pressure reduction from recycling the tape arena.
+	ByteReduction float64 `json:"byte_reduction"`
+}
+
+// stepWorkload builds the fixed micro-batch the sweep measures.
+func stepWorkload(scale float64) (*train.Runner, []*graph.Block, error) {
+	ds, err := dataset.LoadScaled("ogbn-products", scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	seeds := ds.TrainIdx
+	if len(seeds) > 1024 {
+		seeds = seeds[:1024]
+	}
+	blocks, err := sample.New([]int{5, 10}, 1).Sample(ds.Graph, seeds)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := nn.NewGraphSAGE(nn.Config{
+		InDim: ds.FeatureDim(), Hidden: 64, OutDim: ds.NumClasses,
+		Layers: 2, Aggregator: nn.Mean,
+	}, rng.New(1))
+	if err != nil {
+		return nil, nil, err
+	}
+	runner := train.NewRunner(model, ds, nn.NewAdam(model, 0.01), nil)
+	return runner, blocks, nil
+}
+
+// RunStepBench sweeps {1, 8} workers x {on, off} pool over the step
+// workload and returns the report. Each cell runs under testing.Benchmark
+// with allocation tracking, after one untimed warm-up step that fills the
+// pool arena (steady-state behavior is what the K-micro-batch loop sees).
+func RunStepBench(scale float64) (*StepBenchReport, error) {
+	runner, blocks, err := stepWorkload(scale)
+	if err != nil {
+		return nil, err
+	}
+	stats := graph.Stats(blocks)
+	rep := &StepBenchReport{
+		Dataset:  "ogbn-products",
+		Model:    "GraphSAGE-2L-Mean-h64",
+		Seeds:    stats.NumOutput,
+		Edges:    stats.TotalEdges,
+		HostCPUs: parallel.SetWorkers(parallel.SetWorkers(0)),
+	}
+	step := func() error {
+		if _, err := runner.RunMicroBatch(blocks, 1); err != nil {
+			return err
+		}
+		runner.Step()
+		return nil
+	}
+	for _, pool := range []bool{true, false} {
+		for _, w := range []int{1, 8} {
+			prevW := parallel.SetWorkers(w)
+			prevP := tensor.SetPooling(pool)
+			if err := step(); err != nil { // warm-up, untimed
+				parallel.SetWorkers(prevW)
+				tensor.SetPooling(prevP)
+				return nil, err
+			}
+			var stepErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := step(); err != nil {
+						stepErr = err
+						b.FailNow()
+					}
+				}
+			})
+			parallel.SetWorkers(prevW)
+			tensor.SetPooling(prevP)
+			if stepErr != nil {
+				return nil, stepErr
+			}
+			rep.Results = append(rep.Results, StepBenchResult{
+				Name:          fmt.Sprintf("workers=%d/pool=%s", w, onOff(pool)),
+				Workers:       w,
+				Pool:          pool,
+				NsPerStep:     r.NsPerOp(),
+				BytesPerStep:  r.AllocedBytesPerOp(),
+				AllocsPerStep: r.AllocsPerOp(),
+			})
+		}
+	}
+	cell := func(w int, pool bool) *StepBenchResult {
+		for i := range rep.Results {
+			if rep.Results[i].Workers == w && rep.Results[i].Pool == pool {
+				return &rep.Results[i]
+			}
+		}
+		return nil
+	}
+	if a, b := cell(1, true), cell(8, true); a != nil && b != nil && b.NsPerStep > 0 {
+		rep.SpeedupPooled8W = float64(a.NsPerStep) / float64(b.NsPerStep)
+	}
+	if a, b := cell(1, false), cell(1, true); a != nil && b != nil && b.AllocsPerStep > 0 {
+		rep.AllocReduction = float64(a.AllocsPerStep) / float64(b.AllocsPerStep)
+		if b.BytesPerStep > 0 {
+			rep.ByteReduction = float64(a.BytesPerStep) / float64(b.BytesPerStep)
+		}
+	}
+	return rep, nil
+}
+
+// WriteStepBench runs the sweep and writes the JSON report to path.
+func WriteStepBench(path string, scale float64) (*StepBenchReport, error) {
+	rep, err := RunStepBench(scale)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return rep, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

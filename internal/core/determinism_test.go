@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"betty/internal/parallel"
+	"betty/internal/tensor"
+)
+
+// trainTrace runs a fresh 3-epoch micro-batch training under the given
+// worker count and pool setting, returning every per-epoch loss and
+// accuracy plus the final parameter bytes.
+func trainTrace(t *testing.T, workers int, pool bool) ([]float64, []float32) {
+	t.Helper()
+	defer parallel.SetWorkers(parallel.SetWorkers(workers))
+	defer tensor.SetPooling(tensor.SetPooling(pool))
+	tensor.DrainPool()
+	d := testData(t)
+	s, err := BuildSAGE(d, Options{Seed: 40, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scalars []float64
+	for e := 0; e < 3; e++ {
+		st, err := s.Engine.TrainEpochMicro()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalars = append(scalars, st.Loss, st.TrainAcc)
+	}
+	var params []float32
+	for _, p := range s.Model.Params() {
+		params = append(params, p.Value.Data...)
+	}
+	return scalars, params
+}
+
+// compareTraces requires two training runs to match bitwise: losses,
+// accuracies, and every final parameter.
+func compareTraces(t *testing.T, label string, s1, s2 []float64, p1, p2 []float32) {
+	t.Helper()
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("%s: epoch scalar %d differs: %v vs %v", label, i, s1[i], s2[i])
+		}
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("%s: parameter counts differ", label)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("%s: parameter %d differs: %v vs %v", label, i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestTrainEpochWorkersBitwiseIdentical pins the end-to-end determinism
+// claim: a full micro-batch training run is bitwise-identical at 1 and 8
+// workers — losses, accuracies, and every final parameter.
+func TestTrainEpochWorkersBitwiseIdentical(t *testing.T) {
+	s1, p1 := trainTrace(t, 1, true)
+	s8, p8 := trainTrace(t, 8, true)
+	compareTraces(t, "workers 1 vs 8", s1, s8, p1, p8)
+}
+
+// TestTrainEpochPoolBitwiseIdentical pins the pooling claim: recycling
+// tape buffers across micro-batches changes no numerical result.
+func TestTrainEpochPoolBitwiseIdentical(t *testing.T) {
+	sOn, pOn := trainTrace(t, 4, true)
+	sOff, pOff := trainTrace(t, 4, false)
+	compareTraces(t, "pool on vs off", sOn, sOff, pOn, pOff)
+}
+
+// TestTrainEpochMiniPoolAndWorkers covers the mini-batch epoch path, which
+// releases its tape per batch through the same runner.
+func TestTrainEpochMiniPoolAndWorkers(t *testing.T) {
+	run := func(workers int, pool bool) (float64, []float32) {
+		defer parallel.SetWorkers(parallel.SetWorkers(workers))
+		defer tensor.SetPooling(tensor.SetPooling(pool))
+		tensor.DrainPool()
+		d := testData(t)
+		s, err := BuildSAGE(d, Options{Seed: 41, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Engine.TrainEpochMini(4, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var params []float32
+		for _, p := range s.Model.Params() {
+			params = append(params, p.Value.Data...)
+		}
+		return st.Loss, params
+	}
+	l1, p1 := run(1, false)
+	l2, p2 := run(8, true)
+	if l1 != l2 {
+		t.Fatalf("mini-batch loss differs: %v vs %v", l1, l2)
+	}
+	compareTraces(t, "mini 1w/unpooled vs 8w/pooled", nil, nil, p1, p2)
+}

@@ -95,6 +95,7 @@ func LayerwiseInference(model any, g *graph.Graph, feats *tensor.Tensor, chunk i
 			for i := 0; i < res.Value.Rows(); i++ {
 				copy(out.Row(lo+i), res.Value.Row(i))
 			}
+			tp.Release() // rows copied out; recycle the chunk's arena
 		}
 		cur = out
 	}

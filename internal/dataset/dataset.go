@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"betty/internal/graph"
+	"betty/internal/parallel"
 	"betty/internal/rng"
 	"betty/internal/tensor"
 )
@@ -42,10 +43,24 @@ func (d *Dataset) FeatureDim() int { return d.Features.Cols() }
 // tensor — the host-side feature fetch for a batch.
 func (d *Dataset) GatherFeatures(nids []int32) *tensor.Tensor {
 	out := tensor.New(len(nids), d.FeatureDim())
-	for i, nid := range nids {
-		copy(out.Row(i), d.Features.Row(int(nid)))
-	}
+	d.GatherFeaturesInto(out, nids)
 	return out
+}
+
+// GatherFeaturesInto copies the rows for the given global node IDs into
+// out, which must be len(nids) x FeatureDim. The training hot path stages
+// the fetch into a pooled tape tensor so the per-batch feature copy stops
+// allocating; rows are disjoint, so the parallel copy is deterministic.
+func (d *Dataset) GatherFeaturesInto(out *tensor.Tensor, nids []int32) {
+	if out.Rows() != len(nids) || out.Cols() != d.FeatureDim() {
+		panic(fmt.Sprintf("dataset: GatherFeaturesInto %dx%d, want %dx%d",
+			out.Rows(), out.Cols(), len(nids), d.FeatureDim()))
+	}
+	parallel.For(len(nids), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Row(i), d.Features.Row(int(nids[i])))
+		}
+	})
 }
 
 // HostBytes returns the dataset's host-memory footprint: the full feature

@@ -1,6 +1,10 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
 
 // Block is one bipartite layer of a GNN mini-batch: edges flow from source
 // (neighbor) nodes to destination (center) nodes. A multi-layer batch is a
@@ -41,6 +45,21 @@ type Block struct {
 	// node IDs. SrcNID[:NumDst] == DstNID.
 	SrcNID []int32
 	DstNID []int32
+
+	// Derived-view caches. A Block is immutable once constructed, and the
+	// model layers re-derive the same per-edge index views on every forward
+	// pass of every micro-batch; memoizing them here removes that rebuild
+	// from the training hot path. Blocks are always handled by pointer
+	// (sync.Once makes copying a vet error), and the caches are safe for
+	// concurrent use.
+	pairsOnce          sync.Once
+	srcPairs, dstPairs []int32
+
+	wtOnce sync.Once
+	wtLeaf any
+
+	lstmOnce    sync.Once
+	lstmBuckets []DegreeBucket
 }
 
 // NumEdges returns the number of edges in the block.
@@ -52,17 +71,32 @@ func (b *Block) InDegree(d int) int {
 }
 
 // EdgePairs expands the CSC layout into parallel (srcLocal, dstLocal)
-// per-edge index slices, the format the tensor segment ops consume.
+// per-edge index slices, the format the tensor segment ops consume. The
+// expansion is computed once per block and the cached slices are returned
+// on every later call; callers must not modify them. dst is non-decreasing
+// by construction, which is what lets the tensor segment kernels shard on
+// destination boundaries.
 func (b *Block) EdgePairs() (src, dst []int32) {
-	src = make([]int32, b.NumEdges())
-	dst = make([]int32, b.NumEdges())
-	for d := 0; d < b.NumDst; d++ {
-		for p := b.Ptr[d]; p < b.Ptr[d+1]; p++ {
-			src[p] = b.SrcLocal[p]
-			dst[p] = int32(d)
+	b.pairsOnce.Do(func() {
+		b.srcPairs = make([]int32, b.NumEdges())
+		b.dstPairs = make([]int32, b.NumEdges())
+		for d := 0; d < b.NumDst; d++ {
+			for p := b.Ptr[d]; p < b.Ptr[d+1]; p++ {
+				b.srcPairs[p] = b.SrcLocal[p]
+				b.dstPairs[p] = int32(d)
+			}
 		}
-	}
-	return src, dst
+	})
+	return b.srcPairs, b.dstPairs
+}
+
+// MemoEdgeWt memoizes an edge-weight view built from b.EdgeWt — in
+// practice the tensor leaf the SAGE weighted-sum wraps around the weights.
+// build runs at most once per block; later calls return the cached value.
+// The type is opaque (any) so graph does not depend on the tensor package.
+func (b *Block) MemoEdgeWt(build func() any) any {
+	b.wtOnce.Do(func() { b.wtLeaf = build() })
+	return b.wtLeaf
 }
 
 // InDegreeHistogram buckets the block's destination nodes by in-degree with
@@ -91,6 +125,48 @@ func (b *Block) DegreeBuckets() map[int][]int32 {
 		buckets[deg] = append(buckets[deg], int32(d))
 	}
 	return buckets
+}
+
+// DegreeBucket is one NodeBatch of the LSTM aggregator (§4.4.2): the
+// destinations sharing in-degree Deg, plus the per-timestep gather indices
+// Steps[t][i] = the t-th in-neighbor of Nodes[i]. Precomputing Steps turns
+// every LSTM timestep into a single dense GatherRows with no per-forward
+// index rebuilding.
+type DegreeBucket struct {
+	Deg   int
+	Nodes []int32
+	Steps [][]int32
+}
+
+// LSTMBuckets returns the block's degree buckets with precomputed timestep
+// index matrices, in ascending degree order, excluding zero-degree
+// destinations (which keep a zero aggregate). The buckets are built once
+// per block; callers must not modify the returned slices.
+func (b *Block) LSTMBuckets() []DegreeBucket {
+	b.lstmOnce.Do(func() {
+		byDeg := b.DegreeBuckets()
+		degrees := make([]int, 0, len(byDeg))
+		for d := range byDeg {
+			if d > 0 {
+				degrees = append(degrees, d)
+			}
+		}
+		sort.Ints(degrees)
+		b.lstmBuckets = make([]DegreeBucket, 0, len(degrees))
+		for _, deg := range degrees {
+			nodes := byDeg[deg]
+			steps := make([][]int32, deg)
+			for t := 0; t < deg; t++ {
+				idx := make([]int32, len(nodes))
+				for i, d := range nodes {
+					idx[i] = b.SrcLocal[b.Ptr[d]+int64(t)]
+				}
+				steps[t] = idx
+			}
+			b.lstmBuckets = append(b.lstmBuckets, DegreeBucket{Deg: deg, Nodes: nodes, Steps: steps})
+		}
+	})
+	return b.lstmBuckets
 }
 
 // Validate checks the block's structural invariants.

@@ -2,7 +2,6 @@ package nn
 
 import (
 	"fmt"
-	"sort"
 
 	"betty/internal/graph"
 	"betty/internal/rng"
@@ -102,13 +101,18 @@ func (c *SAGEConv) aggregate(tp *tensor.Tape, b *graph.Block, h *tensor.Var) *te
 
 // weightedSum computes the per-destination sum of source rows, multiplied
 // by the block's edge weights when present (the e_uv factor of Table 1).
-// Unweighted blocks use the fused gather+segment-sum fast path.
+// Unweighted blocks use the fused gather+segment-sum fast path. The weight
+// leaf is memoized on the block: EdgeWt is immutable and the leaf is
+// read-only, so every layer of every step shares one wrapper instead of
+// copying the weights each call.
 func (c *SAGEConv) weightedSum(tp *tensor.Tape, b *graph.Block, h *tensor.Var, src, dst []int32) *tensor.Var {
 	if b.EdgeWt == nil {
 		return tp.GatherSegmentSum(h, src, dst, b.NumDst)
 	}
-	w := tensor.FromSlice(len(b.EdgeWt), 1, append([]float32(nil), b.EdgeWt...))
-	msgs := tp.MulRowsVec(tp.GatherRows(h, src), tensor.Leaf(w))
+	w := b.MemoEdgeWt(func() any {
+		return tensor.Leaf(tensor.FromSlice(len(b.EdgeWt), 1, b.EdgeWt))
+	}).(*tensor.Var)
+	msgs := tp.MulRowsVec(tp.GatherRows(h, src), w)
 	return tp.SegmentSum(msgs, dst, b.NumDst)
 }
 
@@ -116,32 +120,17 @@ func (c *SAGEConv) weightedSum(tp *tensor.Tape, b *graph.Block, h *tensor.Var, s
 // sequence using in-degree bucketing (§4.4.2): destinations with equal
 // in-degree form one NodeBatch so each timestep is a dense [B x F] slice.
 func (c *SAGEConv) lstmAggregate(tp *tensor.Tape, b *graph.Block, h *tensor.Var) *tensor.Var {
-	buckets := b.DegreeBuckets()
-	degrees := make([]int, 0, len(buckets))
-	for d := range buckets {
-		degrees = append(degrees, d)
-	}
-	sort.Ints(degrees)
-
 	var pieces *tensor.Var
-	for _, deg := range degrees {
-		nodes := buckets[deg]
-		if deg == 0 {
-			continue // zero-degree destinations keep a zero aggregate
-		}
-		bsz := len(nodes)
+	for _, bucket := range b.LSTMBuckets() {
+		bsz := len(bucket.Nodes)
 		hState := tensor.Leaf(tensor.New(bsz, c.in))
 		cState := tensor.Leaf(tensor.New(bsz, c.in))
 		var hv, cv *tensor.Var = hState, cState
-		for t := 0; t < deg; t++ {
-			idx := make([]int32, bsz)
-			for i, d := range nodes {
-				idx[i] = b.SrcLocal[b.Ptr[d]+int64(t)]
-			}
-			x := tp.GatherRows(h, idx)
+		for t := 0; t < bucket.Deg; t++ {
+			x := tp.GatherRows(h, bucket.Steps[t])
 			hv, cv = c.lstm.Step(tp, x, hv, cv)
 		}
-		scattered := tp.ScatterRows(hv, nodes, b.NumDst)
+		scattered := tp.ScatterRows(hv, bucket.Nodes, b.NumDst)
 		if pieces == nil {
 			pieces = scattered
 		} else {

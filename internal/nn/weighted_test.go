@@ -73,8 +73,17 @@ func TestUnitWeightsMatchUnweighted(t *testing.T) {
 		SrcNID:   []int32{1, 2, 3, 4},
 		DstNID:   []int32{1, 2},
 	}
-	weighted := *unweighted
-	weighted.EdgeWt = []float32{1, 1, 1, 1}
+	// Blocks carry sync.Once caches and must not be copied; rebuild instead.
+	weighted := &graph.Block{
+		NumSrc:   4,
+		NumDst:   2,
+		Ptr:      []int64{0, 3, 4},
+		SrcLocal: []int32{1, 2, 3, 0},
+		EID:      []int32{-1, -1, -1, -1},
+		SrcNID:   []int32{1, 2, 3, 4},
+		DstNID:   []int32{1, 2},
+		EdgeWt:   []float32{1, 1, 1, 1},
+	}
 
 	conv := NewSAGEConv(3, 2, Mean, r)
 	h := tensor.Leaf(tensor.New(4, 3))
@@ -83,7 +92,7 @@ func TestUnitWeightsMatchUnweighted(t *testing.T) {
 	tp1 := tensor.NewTape()
 	o1 := conv.Forward(tp1, unweighted, h)
 	tp2 := tensor.NewTape()
-	o2 := conv.Forward(tp2, &weighted, h)
+	o2 := conv.Forward(tp2, weighted, h)
 	for i := range o1.Value.Data {
 		if o1.Value.Data[i] != o2.Value.Data[i] {
 			t.Fatalf("unit weights diverge at %d: %v vs %v", i, o1.Value.Data[i], o2.Value.Data[i])

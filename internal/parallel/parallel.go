@@ -123,6 +123,52 @@ func For(n, grain int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ForShards executes fn over the irregular contiguous shards described by
+// bounds: shard s covers [bounds[s], bounds[s+1]). It is For for callers
+// that derive their own shard boundaries from the data — for example the
+// tensor segment kernels, which cut only on destination-segment boundaries
+// so each shard owns a disjoint set of output rows. The same invariant
+// applies: bounds must be a function of the problem only, never of the
+// worker count; the worker count only bounds how many shards run
+// concurrently. With one worker (or one shard) everything runs inline in
+// shard order.
+func ForShards(bounds []int, fn func(lo, hi int)) {
+	shards := len(bounds) - 1
+	if shards <= 0 {
+		return
+	}
+	w := Workers()
+	if w > shards {
+		w = shards
+	}
+	if w <= 1 {
+		for s := 0; s < shards; s++ {
+			if bounds[s] < bounds[s+1] {
+				fn(bounds[s], bounds[s+1])
+			}
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				if bounds[s] < bounds[s+1] {
+					fn(bounds[s], bounds[s+1])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // MapReduce maps each shard of [0, n) to a value and folds the per-shard
 // values in ascending shard order, so the reduction tree — and with it any
 // floating-point result — is identical for every worker count. The fold is

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"betty/internal/parallel"
 	"betty/internal/rng"
 )
 
@@ -20,6 +21,7 @@ type Var struct {
 
 	requiresGrad bool
 	back         func() // propagates v.Grad into the parents' gradients
+	tape         *Tape  // owning tape for interior Vars; nil for leaves
 }
 
 // Leaf wraps a tensor as a constant input (no gradient is tracked).
@@ -41,17 +43,20 @@ func (v *Var) ZeroGrad() {
 
 // accumGrad adds g into v.Grad, allocating it on first use.
 func (v *Var) accumGrad(g *Tensor) {
-	if v.Grad == nil {
-		v.Grad = New(v.Value.RowsN, v.Value.ColsN)
-	}
-	AddInto(v.Grad, g)
+	AddInto(v.grad(), g)
 }
 
 // grad returns v.Grad, allocating a zero tensor if needed. Used by backward
-// closures that write into the gradient incrementally.
+// closures that write into the gradient incrementally. Interior Vars draw
+// the allocation from their tape's pooled arena; leaf and parameter
+// gradients persist across steps and are never pooled.
 func (v *Var) grad() *Tensor {
 	if v.Grad == nil {
-		v.Grad = New(v.Value.RowsN, v.Value.ColsN)
+		if v.tape != nil {
+			v.Grad = v.tape.alloc(v.Value.RowsN, v.Value.ColsN)
+		} else {
+			v.Grad = New(v.Value.RowsN, v.Value.ColsN)
+		}
 	}
 	return v.Grad
 }
@@ -59,19 +64,113 @@ func (v *Var) grad() *Tensor {
 // Tape records operations of one forward pass so they can be replayed in
 // reverse for backpropagation. A Tape is single-use per forward pass and is
 // not safe for concurrent use.
+//
+// Every intermediate tensor a tape materializes — op outputs, interior
+// gradients, dropout masks — is acquired from the package buffer pool and
+// registered on the tape, so Release returns the whole arena at once and
+// the next tape (the next micro-batch of the same training batch, whose
+// shapes match) runs allocation-free.
 type Tape struct {
 	ops        []*Var
 	valueBytes int64
+	owned      [][]float32 // pooled backing slices returned by Release
+
+	// Header arenas: Var and Tensor structs are carved out of fixed-size
+	// chunks that Release rewinds but keeps, so a reused tape (the runner
+	// holds one across micro-batches) records its whole graph without
+	// allocating a single header. Chunks are never reallocated in place, so
+	// handed-out pointers stay valid until Release recycles them.
+	varChunks [][]Var
+	varC, varI int
+	tenChunks  [][]Tensor
+	tenC, tenI int
 }
+
+// arenaChunk is the Var/Tensor count per arena chunk.
+const arenaChunk = 256
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
+
+// newVar carves a Var header out of the tape's arena. The caller assigns
+// every field, so rewound headers need no explicit zeroing.
+func (tp *Tape) newVar(v Var) *Var {
+	if tp.varC == len(tp.varChunks) {
+		tp.varChunks = append(tp.varChunks, make([]Var, arenaChunk))
+	}
+	p := &tp.varChunks[tp.varC][tp.varI]
+	*p = v
+	tp.varI++
+	if tp.varI == arenaChunk {
+		tp.varC, tp.varI = tp.varC+1, 0
+	}
+	return p
+}
+
+// newTensor carves a Tensor header out of the tape's arena.
+func (tp *Tape) newTensor(t Tensor) *Tensor {
+	if tp.tenC == len(tp.tenChunks) {
+		tp.tenChunks = append(tp.tenChunks, make([]Tensor, arenaChunk))
+	}
+	p := &tp.tenChunks[tp.tenC][tp.tenI]
+	*p = t
+	tp.tenI++
+	if tp.tenI == arenaChunk {
+		tp.tenC, tp.tenI = tp.tenC+1, 0
+	}
+	return p
+}
+
+// allocF32 acquires a zeroed length-n slice from the buffer pool (or the
+// heap when pooling is off) and registers it for Release.
+func (tp *Tape) allocF32(n int) []float32 {
+	s := acquire(n)
+	if s != nil {
+		tp.owned = append(tp.owned, s)
+	}
+	return s
+}
+
+// alloc returns a zeroed rows x cols tensor backed by the tape's arena.
+func (tp *Tape) alloc(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return tp.newTensor(Tensor{RowsN: rows, ColsN: cols, Data: tp.allocF32(rows * cols)})
+}
+
+// Alloc returns a zeroed rows x cols tensor whose backing slice is drawn
+// from the buffer pool and returned by Release. Callers use it to stage
+// per-batch inputs (gathered features) in the recycled arena; like every
+// tape tensor, the result is invalid after Release.
+func (tp *Tape) Alloc(rows, cols int) *Tensor { return tp.alloc(rows, cols) }
+
+// Release returns every buffer the tape allocated — the values, gradients,
+// and masks of its interior Vars — to the package buffer pool, and rewinds
+// the header arenas for reuse. After Release, the Var and Tensor headers
+// the tape produced are invalid and must not be read; leaf and parameter
+// Vars are unaffected (their storage was never tape-owned). A released
+// tape is empty and ready to record the next forward pass — the runner
+// reuses one tape across all micro-batches of a batch. Release is
+// idempotent, and when pooling is disabled it only drops the buffer
+// references for the garbage collector.
+func (tp *Tape) Release() {
+	for i, s := range tp.owned {
+		release(s)
+		tp.owned[i] = nil
+	}
+	tp.owned = tp.owned[:0]
+	tp.ops = tp.ops[:0]
+	tp.valueBytes = 0
+	tp.varC, tp.varI = 0, 0
+	tp.tenC, tp.tenI = 0, 0
+}
 
 // record registers a new interior Var produced by an operation. The result
 // requires a gradient if any input does; operations call record with the
 // backward closure already bound.
 func (tp *Tape) record(value *Tensor, needsGrad bool, back func()) *Var {
-	v := &Var{Value: value, requiresGrad: needsGrad, back: back}
+	v := tp.newVar(Var{Value: value, requiresGrad: needsGrad, back: back, tape: tp})
 	tp.valueBytes += int64(value.Len()) * 4
 	if needsGrad {
 		tp.ops = append(tp.ops, v)
@@ -113,20 +212,81 @@ func (tp *Tape) Backward(loss *Var) {
 // used by tests and the memory estimator's activation accounting.
 func (tp *Tape) NumOps() int { return len(tp.ops) }
 
+// --- deterministic sharding helpers ---
+
+// segEdgeGrain is the minimum edge count per segment-aligned shard of the
+// segment kernels. A constant of the problem, never of the worker count.
+const segEdgeGrain = 1 << 13
+
+// segmentBounds splits the edge range [0, len(dst)) into shards of at
+// least grain edges whose boundaries fall only where dst changes value, so
+// every destination segment lives in exactly one shard and shards own
+// disjoint output rows. The boundaries depend only on (dst, grain). When
+// dst is not non-decreasing the kernels cannot cut safely and the whole
+// range becomes one shard (serial execution) — block edge lists from
+// graph.Block.EdgePairs are always sorted by destination.
+func segmentBounds(dst []int32, grain int) []int {
+	n := len(dst)
+	if n == 0 {
+		return nil
+	}
+	bounds := make([]int, 1, n/grain+2)
+	last := 0
+	for e := 1; e < n; e++ {
+		if dst[e] < dst[e-1] {
+			return []int{0, n} // unsorted: single serial shard
+		}
+		if dst[e] != dst[e-1] && e-last >= grain {
+			bounds = append(bounds, e)
+			last = e
+		}
+	}
+	return append(bounds, n)
+}
+
+// invertIndex builds the inverse of a gather index: positions
+// pos[cnt[r]:cnt[r+1]] list, in ascending order, the p with idx[p] == r.
+// The backward scatter-adds iterate targets row-by-row over this inverse,
+// so each target row is owned by one worker and accumulates its
+// contributions in the same ascending-p order as the serial kernel —
+// bitwise-identical for every worker count.
+func invertIndex(idx []int32, rows int) (cnt, pos []int32) {
+	cnt = make([]int32, rows+1)
+	for _, id := range idx {
+		cnt[id+1]++
+	}
+	for r := 0; r < rows; r++ {
+		cnt[r+1] += cnt[r]
+	}
+	pos = make([]int32, len(idx))
+	cursor := make([]int32, rows)
+	copy(cursor, cnt[:rows])
+	for p, id := range idx {
+		pos[cursor[id]] = int32(p)
+		cursor[id]++
+	}
+	return cnt, pos
+}
+
 // --- differentiable operations ---
 
 // MatMul computes a @ b.
 func (tp *Tape) MatMul(a, b *Var) *Var {
-	val := MatMul(a.Value, b.Value)
+	if a.Value.ColsN != b.Value.RowsN {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %dx%d @ %dx%d",
+			a.Value.RowsN, a.Value.ColsN, b.Value.RowsN, b.Value.ColsN))
+	}
+	val := tp.alloc(a.Value.RowsN, b.Value.ColsN)
+	matMulInto(val, a.Value, b.Value, false)
 	var out *Var
 	out = tp.record(val, anyGrad(a, b), func() {
 		if a.requiresGrad {
-			// dA += dC @ Bᵀ
-			AddInto(a.grad(), MatMulTB(out.Grad, b.Value))
+			// dA += dC @ Bᵀ, accumulated in place (no temporary)
+			matMulTBInto(a.grad(), out.Grad, b.Value, true)
 		}
 		if b.requiresGrad {
 			// dB += Aᵀ @ dC
-			AddInto(b.grad(), MatMulTA(a.Value, out.Grad))
+			matMulTAInto(b.grad(), a.Value, out.Grad, true)
 		}
 	})
 	return out
@@ -137,8 +297,13 @@ func (tp *Tape) Add(a, b *Var) *Var {
 	if !a.Value.SameShape(b.Value) {
 		panic("tensor: Add shape mismatch")
 	}
-	val := a.Value.Clone()
-	AddInto(val, b.Value)
+	val := tp.alloc(a.Value.RowsN, a.Value.ColsN)
+	av, bv := a.Value.Data, b.Value.Data
+	parallel.For(len(av), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			val.Data[i] = av[i] + bv[i]
+		}
+	})
 	var out *Var
 	out = tp.record(val, anyGrad(a, b), func() {
 		if a.requiresGrad {
@@ -156,8 +321,13 @@ func (tp *Tape) Sub(a, b *Var) *Var {
 	if !a.Value.SameShape(b.Value) {
 		panic("tensor: Sub shape mismatch")
 	}
-	val := a.Value.Clone()
-	AXPY(val, -1, b.Value)
+	val := tp.alloc(a.Value.RowsN, a.Value.ColsN)
+	av, bv := a.Value.Data, b.Value.Data
+	parallel.For(len(av), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			val.Data[i] = av[i] - bv[i]
+		}
+	})
 	var out *Var
 	out = tp.record(val, anyGrad(a, b), func() {
 		if a.requiresGrad {
@@ -175,23 +345,30 @@ func (tp *Tape) Mul(a, b *Var) *Var {
 	if !a.Value.SameShape(b.Value) {
 		panic("tensor: Mul shape mismatch")
 	}
-	val := New(a.Value.RowsN, a.Value.ColsN)
-	for i := range val.Data {
-		val.Data[i] = a.Value.Data[i] * b.Value.Data[i]
-	}
+	val := tp.alloc(a.Value.RowsN, a.Value.ColsN)
+	av, bv := a.Value.Data, b.Value.Data
+	parallel.For(len(av), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			val.Data[i] = av[i] * bv[i]
+		}
+	})
 	var out *Var
 	out = tp.record(val, anyGrad(a, b), func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for i := range g.Data {
-				g.Data[i] += out.Grad.Data[i] * b.Value.Data[i]
-			}
+			parallel.For(len(g.Data), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					g.Data[i] += out.Grad.Data[i] * bv[i]
+				}
+			})
 		}
 		if b.requiresGrad {
 			g := b.grad()
-			for i := range g.Data {
-				g.Data[i] += out.Grad.Data[i] * a.Value.Data[i]
-			}
+			parallel.For(len(g.Data), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					g.Data[i] += out.Grad.Data[i] * av[i]
+				}
+			})
 		}
 	})
 	return out
@@ -199,10 +376,13 @@ func (tp *Tape) Mul(a, b *Var) *Var {
 
 // Scale computes s * a.
 func (tp *Tape) Scale(a *Var, s float32) *Var {
-	val := a.Value.Clone()
-	for i := range val.Data {
-		val.Data[i] *= s
-	}
+	val := tp.alloc(a.Value.RowsN, a.Value.ColsN)
+	av := a.Value.Data
+	parallel.For(len(av), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			val.Data[i] = av[i] * s
+		}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
@@ -217,25 +397,54 @@ func (tp *Tape) AddBias(a, b *Var) *Var {
 	if b.Value.RowsN != 1 || b.Value.ColsN != a.Value.ColsN {
 		panic("tensor: AddBias requires a 1 x cols bias")
 	}
-	val := a.Value.Clone()
-	n := val.ColsN
-	for i := 0; i < val.RowsN; i++ {
-		row := val.Row(i)
-		for j := 0; j < n; j++ {
-			row[j] += b.Value.Data[j]
+	m, n := a.Value.RowsN, a.Value.ColsN
+	val := tp.alloc(m, n)
+	bias := b.Value.Data
+	parallel.For(m, elemRowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := val.Row(i)
+			arow := a.Value.Row(i)
+			for j, v := range arow {
+				row[j] = v + bias[j]
+			}
 		}
-	}
+	})
 	var out *Var
 	out = tp.record(val, anyGrad(a, b), func() {
 		if a.requiresGrad {
 			AddInto(a.grad(), out.Grad)
 		}
 		if b.requiresGrad {
+			// The bias gradient is a column-sum over rows: each shard sums
+			// its rows into a private partial, and partials fold into the
+			// gradient in ascending shard order — the shard structure
+			// depends only on (m, grain), so the reduction tree is fixed.
 			g := b.grad()
-			for i := 0; i < out.Grad.RowsN; i++ {
-				row := out.Grad.Row(i)
-				for j := 0; j < n; j++ {
-					g.Data[j] += row[j]
+			grain := elemRowGrain(n)
+			nShards := parallel.NumShards(m, grain)
+			if nShards <= 1 {
+				for i := 0; i < m; i++ {
+					row := out.Grad.Row(i)
+					for j, v := range row {
+						g.Data[j] += v
+					}
+				}
+				return
+			}
+			partials := make([]float32, nShards*n)
+			parallel.For(m, grain, func(lo, hi int) {
+				p := partials[(lo/grain)*n : (lo/grain+1)*n]
+				for i := lo; i < hi; i++ {
+					row := out.Grad.Row(i)
+					for j, v := range row {
+						p[j] += v
+					}
+				}
+			})
+			for s := 0; s < nShards; s++ {
+				p := partials[s*n : (s+1)*n]
+				for j, v := range p {
+					g.Data[j] += v
 				}
 			}
 		}
@@ -245,21 +454,26 @@ func (tp *Tape) AddBias(a, b *Var) *Var {
 
 // ReLU computes max(0, a) elementwise.
 func (tp *Tape) ReLU(a *Var) *Var {
-	val := New(a.Value.RowsN, a.Value.ColsN)
-	for i, v := range a.Value.Data {
-		if v > 0 {
-			val.Data[i] = v
+	val := tp.alloc(a.Value.RowsN, a.Value.ColsN)
+	av := a.Value.Data
+	parallel.For(len(av), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := av[i]; v > 0 {
+				val.Data[i] = v
+			}
 		}
-	}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for i := range g.Data {
-				if a.Value.Data[i] > 0 {
-					g.Data[i] += out.Grad.Data[i]
+			parallel.For(len(g.Data), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if av[i] > 0 {
+						g.Data[i] += out.Grad.Data[i]
+					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -267,25 +481,30 @@ func (tp *Tape) ReLU(a *Var) *Var {
 
 // LeakyReLU computes a where a > 0 and alpha*a elsewhere.
 func (tp *Tape) LeakyReLU(a *Var, alpha float32) *Var {
-	val := New(a.Value.RowsN, a.Value.ColsN)
-	for i, v := range a.Value.Data {
-		if v > 0 {
-			val.Data[i] = v
-		} else {
-			val.Data[i] = alpha * v
+	val := tp.alloc(a.Value.RowsN, a.Value.ColsN)
+	av := a.Value.Data
+	parallel.For(len(av), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := av[i]; v > 0 {
+				val.Data[i] = v
+			} else {
+				val.Data[i] = alpha * v
+			}
 		}
-	}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for i := range g.Data {
-				if a.Value.Data[i] > 0 {
-					g.Data[i] += out.Grad.Data[i]
-				} else {
-					g.Data[i] += alpha * out.Grad.Data[i]
+			parallel.For(len(g.Data), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if av[i] > 0 {
+						g.Data[i] += out.Grad.Data[i]
+					} else {
+						g.Data[i] += alpha * out.Grad.Data[i]
+					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -293,18 +512,23 @@ func (tp *Tape) LeakyReLU(a *Var, alpha float32) *Var {
 
 // Sigmoid computes 1/(1+exp(-a)) elementwise.
 func (tp *Tape) Sigmoid(a *Var) *Var {
-	val := New(a.Value.RowsN, a.Value.ColsN)
-	for i, v := range a.Value.Data {
-		val.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
-	}
+	val := tp.alloc(a.Value.RowsN, a.Value.ColsN)
+	av := a.Value.Data
+	parallel.For(len(av), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			val.Data[i] = float32(1 / (1 + math.Exp(-float64(av[i]))))
+		}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for i := range g.Data {
-				s := val.Data[i]
-				g.Data[i] += out.Grad.Data[i] * s * (1 - s)
-			}
+			parallel.For(len(g.Data), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					s := val.Data[i]
+					g.Data[i] += out.Grad.Data[i] * s * (1 - s)
+				}
+			})
 		}
 	})
 	return out
@@ -312,18 +536,23 @@ func (tp *Tape) Sigmoid(a *Var) *Var {
 
 // Tanh computes tanh(a) elementwise.
 func (tp *Tape) Tanh(a *Var) *Var {
-	val := New(a.Value.RowsN, a.Value.ColsN)
-	for i, v := range a.Value.Data {
-		val.Data[i] = float32(math.Tanh(float64(v)))
-	}
+	val := tp.alloc(a.Value.RowsN, a.Value.ColsN)
+	av := a.Value.Data
+	parallel.For(len(av), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			val.Data[i] = float32(math.Tanh(float64(av[i])))
+		}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for i := range g.Data {
-				t := val.Data[i]
-				g.Data[i] += out.Grad.Data[i] * (1 - t*t)
-			}
+			parallel.For(len(g.Data), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					t := val.Data[i]
+					g.Data[i] += out.Grad.Data[i] * (1 - t*t)
+				}
+			})
 		}
 	})
 	return out
@@ -335,32 +564,38 @@ func (tp *Tape) ConcatCols(a, b *Var) *Var {
 		panic("tensor: ConcatCols row mismatch")
 	}
 	m, n1, n2 := a.Value.RowsN, a.Value.ColsN, b.Value.ColsN
-	val := New(m, n1+n2)
-	for i := 0; i < m; i++ {
-		copy(val.Row(i)[:n1], a.Value.Row(i))
-		copy(val.Row(i)[n1:], b.Value.Row(i))
-	}
+	val := tp.alloc(m, n1+n2)
+	parallel.For(m, elemRowGrain(n1+n2), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(val.Row(i)[:n1], a.Value.Row(i))
+			copy(val.Row(i)[n1:], b.Value.Row(i))
+		}
+	})
 	var out *Var
 	out = tp.record(val, anyGrad(a, b), func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for i := 0; i < m; i++ {
-				row := out.Grad.Row(i)[:n1]
-				grow := g.Row(i)
-				for j, v := range row {
-					grow[j] += v
+			parallel.For(m, elemRowGrain(n1), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					row := out.Grad.Row(i)[:n1]
+					grow := g.Row(i)
+					for j, v := range row {
+						grow[j] += v
+					}
 				}
-			}
+			})
 		}
 		if b.requiresGrad {
 			g := b.grad()
-			for i := 0; i < m; i++ {
-				row := out.Grad.Row(i)[n1:]
-				grow := g.Row(i)
-				for j, v := range row {
-					grow[j] += v
+			parallel.For(m, elemRowGrain(n2), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					row := out.Grad.Row(i)[n1:]
+					grow := g.Row(i)
+					for j, v := range row {
+						grow[j] += v
+					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -369,21 +604,33 @@ func (tp *Tape) ConcatCols(a, b *Var) *Var {
 // GatherRows selects rows of a by idx: out[i] = a[idx[i]].
 func (tp *Tape) GatherRows(a *Var, idx []int32) *Var {
 	n := a.Value.ColsN
-	val := New(len(idx), n)
-	for i, id := range idx {
-		copy(val.Row(i), a.Value.Row(int(id)))
-	}
+	rows := a.Value.RowsN
+	val := tp.alloc(len(idx), n)
+	parallel.For(len(idx), elemRowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(val.Row(i), a.Value.Row(int(idx[i])))
+		}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
+			// Scatter-add dA[idx[i]] += dOut[i]: each source row of a is
+			// owned by one worker via the inverse index, and its
+			// contributions add in ascending gather position — the serial
+			// accumulation order, for every worker count.
 			g := a.grad()
-			for i, id := range idx {
-				grow := g.Row(int(id))
-				orow := out.Grad.Row(i)
-				for j, v := range orow {
-					grow[j] += v
+			cnt, pos := invertIndex(idx, rows)
+			parallel.For(rows, elemRowGrain(n), func(lo, hi int) {
+				for r := lo; r < hi; r++ {
+					grow := g.Row(r)
+					for p := cnt[r]; p < cnt[r+1]; p++ {
+						orow := out.Grad.Row(int(pos[p]))
+						for j, v := range orow {
+							grow[j] += v
+						}
+					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -395,16 +642,19 @@ func (tp *Tape) SliceRows(a *Var, lo, hi int) *Var {
 		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %d rows", lo, hi, a.Value.RowsN))
 	}
 	n := a.Value.ColsN
-	val := New(hi-lo, n)
+	val := tp.alloc(hi-lo, n)
 	copy(val.Data, a.Value.Data[lo*n:hi*n])
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
 			g := a.grad()
 			sub := g.Data[lo*n : hi*n]
-			for i, v := range out.Grad.Data {
-				sub[i] += v
-			}
+			og := out.Grad.Data
+			parallel.For(len(og), elemGrain, func(elo, ehi int) {
+				for i := elo; i < ehi; i++ {
+					sub[i] += og[i]
+				}
+			})
 		}
 	})
 	return out
@@ -416,21 +666,25 @@ func (tp *Tape) SliceCols(a *Var, lo, hi int) *Var {
 		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) out of range for %d cols", lo, hi, a.Value.ColsN))
 	}
 	m, w := a.Value.RowsN, hi-lo
-	val := New(m, w)
-	for i := 0; i < m; i++ {
-		copy(val.Row(i), a.Value.Row(i)[lo:hi])
-	}
+	val := tp.alloc(m, w)
+	parallel.For(m, elemRowGrain(w), func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			copy(val.Row(i), a.Value.Row(i)[lo:hi])
+		}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for i := 0; i < m; i++ {
-				grow := g.Row(i)[lo:hi]
-				orow := out.Grad.Row(i)
-				for j, v := range orow {
-					grow[j] += v
+			parallel.For(m, elemRowGrain(w), func(rlo, rhi int) {
+				for i := rlo; i < rhi; i++ {
+					grow := g.Row(i)[lo:hi]
+					orow := out.Grad.Row(i)
+					for j, v := range orow {
+						grow[j] += v
+					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -438,30 +692,40 @@ func (tp *Tape) SliceCols(a *Var, lo, hi int) *Var {
 
 // SegmentSum aggregates per-edge rows into per-destination rows:
 // out[dst[e]] += a[e] for every edge e. a is (nEdges x n), out is (nSeg x n).
+//
+// The forward pass shards the edge range on destination-segment boundaries
+// (segmentBounds), so each shard owns a disjoint set of output rows and
+// accumulates each destination's edges in the serial order.
 func (tp *Tape) SegmentSum(a *Var, dst []int32, nSeg int) *Var {
 	if len(dst) != a.Value.RowsN {
 		panic("tensor: SegmentSum index length mismatch")
 	}
 	n := a.Value.ColsN
-	val := New(nSeg, n)
-	for e, d := range dst {
-		row := val.Row(int(d))
-		arow := a.Value.Row(e)
-		for j, v := range arow {
-			row[j] += v
+	val := tp.alloc(nSeg, n)
+	bounds := segmentBounds(dst, segEdgeGrain)
+	parallel.ForShards(bounds, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			row := val.Row(int(dst[e]))
+			arow := a.Value.Row(e)
+			for j, v := range arow {
+				row[j] += v
+			}
 		}
-	}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
+			// dA[e] += dOut[dst[e]]: per-edge rows are disjoint.
 			g := a.grad()
-			for e, d := range dst {
-				grow := g.Row(e)
-				orow := out.Grad.Row(int(d))
-				for j, v := range orow {
-					grow[j] += v
+			parallel.For(len(dst), elemRowGrain(n), func(lo, hi int) {
+				for e := lo; e < hi; e++ {
+					grow := g.Row(e)
+					orow := out.Grad.Row(int(dst[e]))
+					for j, v := range orow {
+						grow[j] += v
+					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -469,31 +733,42 @@ func (tp *Tape) SegmentSum(a *Var, dst []int32, nSeg int) *Var {
 
 // GatherSegmentSum fuses GatherRows + SegmentSum for the common
 // message-passing pattern out[dst[e]] += a[src[e]]: it avoids materializing
-// the per-edge tensor. a is (nSrc x n), out is (nSeg x n).
+// the per-edge tensor. a is (nSrc x n), out is (nSeg x n). Forward shards
+// on segment boundaries; backward owns each source row via the inverse of
+// src, accumulating in ascending edge order (see invertIndex).
 func (tp *Tape) GatherSegmentSum(a *Var, src, dst []int32, nSeg int) *Var {
 	if len(src) != len(dst) {
 		panic("tensor: GatherSegmentSum src/dst length mismatch")
 	}
 	n := a.Value.ColsN
-	val := New(nSeg, n)
-	for e := range src {
-		row := val.Row(int(dst[e]))
-		arow := a.Value.Row(int(src[e]))
-		for j, v := range arow {
-			row[j] += v
+	nSrc := a.Value.RowsN
+	val := tp.alloc(nSeg, n)
+	bounds := segmentBounds(dst, segEdgeGrain)
+	parallel.ForShards(bounds, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			row := val.Row(int(dst[e]))
+			arow := a.Value.Row(int(src[e]))
+			for j, v := range arow {
+				row[j] += v
+			}
 		}
-	}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for e := range src {
-				grow := g.Row(int(src[e]))
-				orow := out.Grad.Row(int(dst[e]))
-				for j, v := range orow {
-					grow[j] += v
+			cnt, pos := invertIndex(src, nSrc)
+			parallel.For(nSrc, elemRowGrain(n), func(lo, hi int) {
+				for r := lo; r < hi; r++ {
+					grow := g.Row(r)
+					for p := cnt[r]; p < cnt[r+1]; p++ {
+						orow := out.Grad.Row(int(dst[pos[p]]))
+						for j, v := range orow {
+							grow[j] += v
+						}
+					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -507,35 +782,43 @@ func (tp *Tape) SegmentMax(a *Var, dst []int32, nSeg int) *Var {
 		panic("tensor: SegmentMax index length mismatch")
 	}
 	n := a.Value.ColsN
-	val := New(nSeg, n)
+	val := tp.alloc(nSeg, n)
 	arg := make([]int32, nSeg*n) // edge index of the max, -1 = empty
 	for i := range arg {
 		arg[i] = -1
 	}
-	for e, d := range dst {
-		row := val.Row(int(d))
-		arow := a.Value.Row(e)
-		base := int(d) * n
-		for j, v := range arow {
-			if arg[base+j] == -1 || v > row[j] {
-				row[j] = v
-				arg[base+j] = int32(e)
+	bounds := segmentBounds(dst, segEdgeGrain)
+	parallel.ForShards(bounds, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			d := dst[e]
+			row := val.Row(int(d))
+			arow := a.Value.Row(e)
+			base := int(d) * n
+			for j, v := range arow {
+				if arg[base+j] == -1 || v > row[j] {
+					row[j] = v
+					arg[base+j] = int32(e)
+				}
 			}
 		}
-	}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
+			// Each segment's argmax entries point at edges of that segment
+			// only, so sharding over segments writes disjoint rows of g.
 			g := a.grad()
-			for s := 0; s < nSeg; s++ {
-				orow := out.Grad.Row(s)
-				base := s * n
-				for j, v := range orow {
-					if e := arg[base+j]; e >= 0 {
-						g.Data[int(e)*n+j] += v
+			parallel.For(nSeg, elemRowGrain(n), func(lo, hi int) {
+				for s := lo; s < hi; s++ {
+					orow := out.Grad.Row(s)
+					base := s * n
+					for j, v := range orow {
+						if e := arg[base+j]; e >= 0 {
+							g.Data[int(e)*n+j] += v
+						}
 					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -550,9 +833,8 @@ func (tp *Tape) ScatterRows(a *Var, idx []int32, numRows int) *Var {
 		panic("tensor: ScatterRows index length mismatch")
 	}
 	n := a.Value.ColsN
-	val := New(numRows, n)
-	seen := make(map[int32]bool, len(idx))
-	for i, id := range idx {
+	seen := make([]bool, numRows)
+	for _, id := range idx {
 		if id < 0 || int(id) >= numRows {
 			panic(fmt.Sprintf("tensor: ScatterRows index %d out of range [0,%d)", id, numRows))
 		}
@@ -560,19 +842,27 @@ func (tp *Tape) ScatterRows(a *Var, idx []int32, numRows int) *Var {
 			panic(fmt.Sprintf("tensor: ScatterRows duplicate index %d", id))
 		}
 		seen[id] = true
-		copy(val.Row(int(id)), a.Value.Row(i))
 	}
+	val := tp.alloc(numRows, n)
+	parallel.For(len(idx), elemRowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(val.Row(int(idx[i])), a.Value.Row(i))
+		}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
+			// Distinct indices make the reads disjoint per row of a.
 			g := a.grad()
-			for i, id := range idx {
-				grow := g.Row(i)
-				orow := out.Grad.Row(int(id))
-				for j, v := range orow {
-					grow[j] += v
+			parallel.For(len(idx), elemRowGrain(n), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					grow := g.Row(i)
+					orow := out.Grad.Row(int(idx[i]))
+					for j, v := range orow {
+						grow[j] += v
+					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -585,27 +875,31 @@ func (tp *Tape) RowScale(a *Var, scale []float32) *Var {
 		panic("tensor: RowScale length mismatch")
 	}
 	n := a.Value.ColsN
-	val := New(a.Value.RowsN, n)
-	for i := 0; i < a.Value.RowsN; i++ {
-		s := scale[i]
-		row := val.Row(i)
-		arow := a.Value.Row(i)
-		for j, v := range arow {
-			row[j] = v * s
+	val := tp.alloc(a.Value.RowsN, n)
+	parallel.For(a.Value.RowsN, elemRowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := scale[i]
+			row := val.Row(i)
+			arow := a.Value.Row(i)
+			for j, v := range arow {
+				row[j] = v * s
+			}
 		}
-	}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for i := 0; i < out.Grad.RowsN; i++ {
-				s := scale[i]
-				grow := g.Row(i)
-				orow := out.Grad.Row(i)
-				for j, v := range orow {
-					grow[j] += v * s
+			parallel.For(out.Grad.RowsN, elemRowGrain(n), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					s := scale[i]
+					grow := g.Row(i)
+					orow := out.Grad.Row(i)
+					for j, v := range orow {
+						grow[j] += v * s
+					}
 				}
-			}
+			})
 		}
 	})
 	return out
@@ -619,39 +913,46 @@ func (tp *Tape) MulRowsVec(a, w *Var) *Var {
 		panic("tensor: MulRowsVec requires w of shape rows(a) x 1")
 	}
 	n := a.Value.ColsN
-	val := New(a.Value.RowsN, n)
-	for i := 0; i < a.Value.RowsN; i++ {
-		s := w.Value.Data[i]
-		row := val.Row(i)
-		arow := a.Value.Row(i)
-		for j, v := range arow {
-			row[j] = v * s
+	val := tp.alloc(a.Value.RowsN, n)
+	parallel.For(a.Value.RowsN, elemRowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := w.Value.Data[i]
+			row := val.Row(i)
+			arow := a.Value.Row(i)
+			for j, v := range arow {
+				row[j] = v * s
+			}
 		}
-	}
+	})
 	var out *Var
 	out = tp.record(val, anyGrad(a, w), func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for i := 0; i < out.Grad.RowsN; i++ {
-				s := w.Value.Data[i]
-				grow := g.Row(i)
-				orow := out.Grad.Row(i)
-				for j, v := range orow {
-					grow[j] += v * s
+			parallel.For(out.Grad.RowsN, elemRowGrain(n), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					s := w.Value.Data[i]
+					grow := g.Row(i)
+					orow := out.Grad.Row(i)
+					for j, v := range orow {
+						grow[j] += v * s
+					}
 				}
-			}
+			})
 		}
 		if w.requiresGrad {
+			// dw[i] is a per-row dot product: rows are disjoint.
 			g := w.grad()
-			for i := 0; i < out.Grad.RowsN; i++ {
-				arow := a.Value.Row(i)
-				orow := out.Grad.Row(i)
-				var s float32
-				for j, v := range orow {
-					s += v * arow[j]
+			parallel.For(out.Grad.RowsN, elemRowGrain(n), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					arow := a.Value.Row(i)
+					orow := out.Grad.Row(i)
+					var s float32
+					for j, v := range orow {
+						s += v * arow[j]
+					}
+					g.Data[i] += s
 				}
-				g.Data[i] += s
-			}
+			})
 		}
 	})
 	return out
@@ -659,7 +960,9 @@ func (tp *Tape) MulRowsVec(a, w *Var) *Var {
 
 // SegmentSoftmax normalizes the scores (nEdges x 1) with a softmax within
 // each destination segment: out[e] = exp(s[e]) / sum_{e': dst[e']==dst[e]} exp(s[e']).
-// A numerically stable per-segment max subtraction is applied.
+// A numerically stable per-segment max subtraction is applied. Shards cut
+// only on segment boundaries, so each shard owns its segments' max, sum,
+// and normalization exclusively, in the serial accumulation order.
 func (tp *Tape) SegmentSoftmax(scores *Var, dst []int32, nSeg int) *Var {
 	if scores.Value.ColsN != 1 || len(dst) != scores.Value.RowsN {
 		panic("tensor: SegmentSoftmax requires nEdges x 1 scores")
@@ -667,42 +970,52 @@ func (tp *Tape) SegmentSoftmax(scores *Var, dst []int32, nSeg int) *Var {
 	nE := len(dst)
 	maxes := make([]float32, nSeg)
 	seen := make([]bool, nSeg)
-	for e, d := range dst {
-		v := scores.Value.Data[e]
-		if !seen[d] || v > maxes[d] {
-			maxes[d] = v
-			seen[d] = true
-		}
-	}
-	val := New(nE, 1)
+	val := tp.alloc(nE, 1)
 	sums := make([]float64, nSeg)
-	for e, d := range dst {
-		ex := math.Exp(float64(scores.Value.Data[e] - maxes[d]))
-		val.Data[e] = float32(ex)
-		sums[d] += ex
-	}
-	for e, d := range dst {
-		val.Data[e] = float32(float64(val.Data[e]) / sums[d])
-	}
+	bounds := segmentBounds(dst, segEdgeGrain)
+	parallel.ForShards(bounds, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			d := dst[e]
+			v := scores.Value.Data[e]
+			if !seen[d] || v > maxes[d] {
+				maxes[d] = v
+				seen[d] = true
+			}
+		}
+		for e := lo; e < hi; e++ {
+			d := dst[e]
+			ex := math.Exp(float64(scores.Value.Data[e] - maxes[d]))
+			val.Data[e] = float32(ex)
+			sums[d] += ex
+		}
+		for e := lo; e < hi; e++ {
+			val.Data[e] = float32(float64(val.Data[e]) / sums[dst[e]])
+		}
+	})
 	var out *Var
 	out = tp.record(val, scores.requiresGrad, func() {
 		if scores.requiresGrad {
-			// d s_e = p_e * (g_e - sum_{e' in seg} p_e' g_e')
-			dots := make([]float64, nSeg)
-			for e, d := range dst {
-				dots[d] += float64(val.Data[e]) * float64(out.Grad.Data[e])
-			}
+			// d s_e = p_e * (g_e - sum_{e' in seg} p_e' g_e'); the same
+			// segment-aligned shards own the per-segment dot products.
 			g := scores.grad()
-			for e, d := range dst {
-				g.Data[e] += val.Data[e] * (out.Grad.Data[e] - float32(dots[d]))
-			}
+			dots := make([]float64, nSeg)
+			parallel.ForShards(bounds, func(lo, hi int) {
+				for e := lo; e < hi; e++ {
+					dots[dst[e]] += float64(val.Data[e]) * float64(out.Grad.Data[e])
+				}
+				for e := lo; e < hi; e++ {
+					g.Data[e] += val.Data[e] * (out.Grad.Data[e] - float32(dots[dst[e]]))
+				}
+			})
 		}
 	})
 	return out
 }
 
 // Dropout zeroes each element with probability p and scales survivors by
-// 1/(1-p) (inverted dropout). With p == 0 it is the identity.
+// 1/(1-p) (inverted dropout). With p == 0 it is the identity. The mask is
+// drawn serially so the RNG stream is identical for every worker count;
+// applying it (and the backward pass) runs on the worker pool.
 func (tp *Tape) Dropout(a *Var, p float32, r *rng.RNG) *Var {
 	if p <= 0 {
 		return a
@@ -712,42 +1025,58 @@ func (tp *Tape) Dropout(a *Var, p float32, r *rng.RNG) *Var {
 	}
 	keep := 1 - p
 	inv := 1 / keep
-	mask := make([]float32, a.Value.Len())
-	val := New(a.Value.RowsN, a.Value.ColsN)
-	for i, v := range a.Value.Data {
+	mask := tp.allocF32(a.Value.Len())
+	for i := range mask {
 		if r.Float32() < keep {
 			mask[i] = inv
-			val.Data[i] = v * inv
 		}
 	}
+	val := tp.alloc(a.Value.RowsN, a.Value.ColsN)
+	av := a.Value.Data
+	parallel.For(len(av), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if mask[i] != 0 {
+				val.Data[i] = av[i] * mask[i]
+			}
+		}
+	})
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
 			g := a.grad()
-			for i := range g.Data {
-				g.Data[i] += out.Grad.Data[i] * mask[i]
-			}
+			parallel.For(len(g.Data), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					g.Data[i] += out.Grad.Data[i] * mask[i]
+				}
+			})
 		}
 	})
 	return out
 }
 
-// Sum reduces a to a 1x1 scalar by summing all elements.
+// Sum reduces a to a 1x1 scalar by summing all elements. Shards sum
+// privately in float64 and fold in shard order.
 func (tp *Tape) Sum(a *Var) *Var {
-	val := New(1, 1)
-	var s float64
-	for _, v := range a.Value.Data {
-		s += float64(v)
-	}
+	val := tp.alloc(1, 1)
+	av := a.Value.Data
+	s := parallel.MapReduce(len(av), elemGrain, func(lo, hi int) float64 {
+		var p float64
+		for i := lo; i < hi; i++ {
+			p += float64(av[i])
+		}
+		return p
+	}, func(acc, v float64) float64 { return acc + v })
 	val.Data[0] = float32(s)
 	var out *Var
 	out = tp.record(val, a.requiresGrad, func() {
 		if a.requiresGrad {
 			g := a.grad()
 			gv := out.Grad.Data[0]
-			for i := range g.Data {
-				g.Data[i] += gv
-			}
+			parallel.For(len(g.Data), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					g.Data[i] += gv
+				}
+			})
 		}
 	})
 	return out
@@ -761,59 +1090,72 @@ func (tp *Tape) Mean(a *Var) *Var {
 // SoftmaxCrossEntropy computes the mean cross-entropy loss between logits
 // (m x C) and integer labels (length m). It returns a 1x1 loss Var. Rows
 // whose label is negative are ignored (masked), matching the convention for
-// nodes without labels.
+// nodes without labels. Rows are sharded across workers; the per-shard
+// loss/count partials fold in shard order.
 func (tp *Tape) SoftmaxCrossEntropy(logits *Var, labels []int32) *Var {
 	m, c := logits.Value.RowsN, logits.Value.ColsN
 	if len(labels) != m {
 		panic("tensor: SoftmaxCrossEntropy label length mismatch")
 	}
-	probs := New(m, c)
-	var loss float64
-	count := 0
-	for i := 0; i < m; i++ {
-		if labels[i] < 0 {
-			continue
-		}
-		count++
-		row := logits.Value.Row(i)
-		maxv := row[0]
-		for _, v := range row[1:] {
-			if v > maxv {
-				maxv = v
-			}
-		}
-		var sum float64
-		prow := probs.Row(i)
-		for j, v := range row {
-			e := math.Exp(float64(v - maxv))
-			prow[j] = float32(e)
-			sum += e
-		}
-		for j := range prow {
-			prow[j] = float32(float64(prow[j]) / sum)
-		}
-		loss += -math.Log(math.Max(float64(prow[labels[i]]), 1e-30))
+	probs := tp.alloc(m, c)
+	grain := elemRowGrain(c)
+	type partial struct {
+		loss  float64
+		count int
 	}
-	val := New(1, 1)
+	total := parallel.MapReduce(m, grain, func(lo, hi int) partial {
+		var p partial
+		for i := lo; i < hi; i++ {
+			if labels[i] < 0 {
+				continue
+			}
+			p.count++
+			row := logits.Value.Row(i)
+			maxv := row[0]
+			for _, v := range row[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			prow := probs.Row(i)
+			for j, v := range row {
+				e := math.Exp(float64(v - maxv))
+				prow[j] = float32(e)
+				sum += e
+			}
+			for j := range prow {
+				prow[j] = float32(float64(prow[j]) / sum)
+			}
+			p.loss += -math.Log(math.Max(float64(prow[labels[i]]), 1e-30))
+		}
+		return p
+	}, func(acc, v partial) partial {
+		return partial{loss: acc.loss + v.loss, count: acc.count + v.count}
+	})
+	count := total.count
+	val := tp.alloc(1, 1)
 	if count > 0 {
-		val.Data[0] = float32(loss / float64(count))
+		val.Data[0] = float32(total.loss / float64(count))
 	}
 	var out *Var
 	out = tp.record(val, logits.requiresGrad, func() {
 		if logits.requiresGrad && count > 0 {
 			g := logits.grad()
 			scale := out.Grad.Data[0] / float32(count)
-			for i := 0; i < m; i++ {
-				if labels[i] < 0 {
-					continue
+			parallel.For(m, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if labels[i] < 0 {
+						continue
+					}
+					grow := g.Row(i)
+					prow := probs.Row(i)
+					for j, p := range prow {
+						grow[j] += scale * p
+					}
+					grow[labels[i]] -= scale
 				}
-				grow := g.Row(i)
-				prow := probs.Row(i)
-				for j, p := range prow {
-					grow[j] += scale * p
-				}
-				grow[labels[i]] -= scale
-			}
+			})
 		}
 	})
 	return out

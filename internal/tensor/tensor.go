@@ -167,14 +167,25 @@ func matMulInto(out, a, b *Tensor, accum bool) {
 
 // MatMulTA computes aᵀ @ b into a new tensor.
 func MatMulTA(a, b *Tensor) *Tensor {
+	out := New(a.ColsN, b.ColsN)
+	matMulTAInto(out, a, b, false)
+	return out
+}
+
+// matMulTAInto computes out (+)= aᵀ @ b. Workers own disjoint ranges of
+// output rows (= columns of a). Every worker walks k in ascending order,
+// exactly like the serial kernel, so each output element accumulates its
+// terms in the identical order. With accum the product is added to out —
+// the backward pass writes straight into gradient tensors without a
+// temporary.
+func matMulTAInto(out, a, b *Tensor, accum bool) {
 	if a.RowsN != b.RowsN {
 		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch %dx%d ᵀ@ %dx%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
 	}
-	out := New(a.ColsN, b.ColsN)
 	n := b.ColsN
-	// Workers own disjoint ranges of output rows (= columns of a). Every
-	// worker walks k in ascending order, exactly like the serial kernel, so
-	// each output element accumulates its terms in the identical order.
+	if !accum {
+		out.Zero()
+	}
 	parallel.For(a.ColsN, rowGrain(a.RowsN*n), func(lo, hi int) {
 		for k := 0; k < a.RowsN; k++ {
 			arow := a.Row(k)
@@ -191,15 +202,22 @@ func MatMulTA(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return out
 }
 
 // MatMulTB computes a @ bᵀ into a new tensor.
 func MatMulTB(a, b *Tensor) *Tensor {
+	out := New(a.RowsN, b.RowsN)
+	matMulTBInto(out, a, b, false)
+	return out
+}
+
+// matMulTBInto computes out (+)= a @ bᵀ with workers owning disjoint
+// output-row ranges; each dot product is summed in ascending k order for
+// every worker count.
+func matMulTBInto(out, a, b *Tensor, accum bool) {
 	if a.ColsN != b.ColsN {
 		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %dx%d @ᵀ %dx%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
 	}
-	out := New(a.RowsN, b.RowsN)
 	parallel.For(a.RowsN, rowGrain(a.ColsN*b.RowsN), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
@@ -210,11 +228,14 @@ func MatMulTB(a, b *Tensor) *Tensor {
 				for k, av := range arow {
 					s += av * brow[k]
 				}
-				orow[j] = s
+				if accum {
+					orow[j] += s
+				} else {
+					orow[j] = s
+				}
 			}
 		}
 	})
-	return out
 }
 
 // Transpose returns aᵀ as a new tensor.
@@ -228,14 +249,35 @@ func Transpose(a *Tensor) *Tensor {
 	return out
 }
 
-// AddInto computes dst += src elementwise.
+// elemGrain is the element count per shard for the parallel elementwise
+// kernels: big enough to amortize a goroutine dispatch, small enough that
+// activation-sized tensors fan out. Like rowGrain it is a constant of the
+// problem, never of the worker count, so shard structure — and results —
+// are identical for any parallelism.
+const elemGrain = 1 << 15
+
+// elemRowGrain returns a row grain targeting ~elemGrain elements per shard
+// for kernels that must shard on whole rows.
+func elemRowGrain(cols int) int {
+	g := elemGrain / (cols + 1)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// AddInto computes dst += src elementwise. Shards own disjoint element
+// ranges, so the parallel result is bitwise-identical to serial.
 func AddInto(dst, src *Tensor) {
 	if !dst.SameShape(src) {
 		panic("tensor: AddInto shape mismatch")
 	}
-	for i, v := range src.Data {
-		dst.Data[i] += v
-	}
+	d, s := dst.Data, src.Data
+	parallel.For(len(s), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] += s[i]
+		}
+	})
 }
 
 // AXPY computes dst += alpha * src elementwise.
@@ -243,7 +285,10 @@ func AXPY(dst *Tensor, alpha float32, src *Tensor) {
 	if !dst.SameShape(src) {
 		panic("tensor: AXPY shape mismatch")
 	}
-	for i, v := range src.Data {
-		dst.Data[i] += alpha * v
-	}
+	d, s := dst.Data, src.Data
+	parallel.For(len(s), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] += alpha * s[i]
+		}
+	})
 }

@@ -56,6 +56,15 @@ type Runner struct {
 	Dev *device.Device
 
 	resident []*device.Buffer
+
+	// tape is reused across micro-batches: Release rewinds it, so every
+	// step after the first records its graph into recycled headers and
+	// pooled buffers. Training steps are serial; Evaluate's parallel
+	// chunks use their own tapes.
+	tape *tensor.Tape
+	// params caches Model.Params() so the per-step ZeroGrad stops
+	// rebuilding the slice.
+	params []*tensor.Var
 }
 
 // NewRunner wires a model, dataset, and optimizer; dev may be nil.
@@ -132,7 +141,15 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 	}
 	input := blocks[0]
 	last := blocks[len(blocks)-1]
-	x := r.Data.GatherFeatures(input.SrcNID)
+	if r.tape == nil {
+		r.tape = tensor.NewTape()
+	}
+	tp := r.tape
+	defer tp.Release()
+	// Stage the feature fetch in the tape's pooled arena: the big per-batch
+	// input copy recycles the same buffer across micro-batches.
+	x := tp.Alloc(len(input.SrcNID), r.Data.FeatureDim())
+	r.Data.GatherFeaturesInto(x, input.SrcNID)
 	labels := r.Data.GatherLabels(last.DstNID)
 
 	// Device phase 1: transfer inputs and charge their memory.
@@ -160,22 +177,27 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 	if err := r.EnsureResident(); err != nil {
 		return res, err
 	}
-	stats := graph.Stats(blocks)
-	if err := charge(int64(x.Len())*4, "input-features", true); err != nil {
-		free()
-		return res, err
-	}
-	if err := charge(int64(len(labels))*4, "labels", true); err != nil {
-		free()
-		return res, err
-	}
-	if err := charge(int64(stats.TotalEdges)*3*4, "blocks", true); err != nil {
-		free()
-		return res, err
+	if r.Dev != nil {
+		stats := graph.Stats(blocks)
+		if err := charge(int64(x.Len())*4, "input-features", true); err != nil {
+			free()
+			return res, err
+		}
+		if err := charge(int64(len(labels))*4, "labels", true); err != nil {
+			free()
+			return res, err
+		}
+		if err := charge(int64(stats.TotalEdges)*3*4, "blocks", true); err != nil {
+			free()
+			return res, err
+		}
 	}
 
-	// Forward + loss on the tape.
-	tp := tensor.NewTape()
+	// Forward + loss on the tape. Every intermediate tensor comes from the
+	// buffer pool, and the deferred Release rewinds the tape once the
+	// batch's results have been extracted — on success and on the OOM error
+	// path — so the next micro-batch reuses the same arena. Only leaf and
+	// parameter storage (including the accumulated gradients) outlives it.
 	logits := r.Model.Forward(tp, blocks, tensor.Leaf(x))
 	loss := tp.SoftmaxCrossEntropy(logits, labels)
 	res.Loss = float64(loss.Value.Data[0])
@@ -211,7 +233,12 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 // Step applies the optimizer to the accumulated gradients and clears them.
 func (r *Runner) Step() {
 	r.Opt.Step()
-	nn.ZeroGrad(r.Model)
+	if r.params == nil {
+		r.params = r.Model.Params()
+	}
+	for _, p := range r.params {
+		p.ZeroGrad()
+	}
 }
 
 // sampler is the subset of sample.Sampler the evaluator needs; declared
@@ -264,6 +291,7 @@ func (r *Runner) Evaluate(s sampler, seeds []int32, chunkSize int) (float64, err
 					results[c].correct++
 				}
 			}
+			tp.Release() // predictions extracted; recycle the chunk's arena
 		}
 	})
 	correct, count := 0, 0
