@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"math"
 	"path/filepath"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestRoundTrip(t *testing.T) {
 	ps, pd := src.Params(), dst.Params()
 	for i := range ps {
 		for j := range ps[i].Value.Data {
-			if ps[i].Value.Data[j] != pd[i].Value.Data[j] {
+			if math.Float32bits(ps[i].Value.Data[j]) != math.Float32bits(pd[i].Value.Data[j]) {
 				t.Fatalf("param %d elem %d not restored", i, j)
 			}
 		}
@@ -81,7 +82,7 @@ func TestRoundTripPreservesForward(t *testing.T) {
 	}
 	a, c := fwd(src), fwd(dst)
 	for i := range a.Data {
-		if a.Data[i] != c.Data[i] {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(c.Data[i]) {
 			t.Fatal("restored model computes different outputs")
 		}
 	}
@@ -105,7 +106,7 @@ func TestShapeMismatchRejectedWithoutMutation(t *testing.T) {
 	}
 	after := big.Params()[0].Value
 	for i := range before.Data {
-		if before.Data[i] != after.Data[i] {
+		if math.Float32bits(before.Data[i]) != math.Float32bits(after.Data[i]) {
 			t.Fatal("failed load mutated the model")
 		}
 	}

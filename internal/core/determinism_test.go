@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"betty/internal/parallel"
@@ -40,7 +41,7 @@ func trainTrace(t *testing.T, workers int, pool bool) ([]float64, []float32) {
 func compareTraces(t *testing.T, label string, s1, s2 []float64, p1, p2 []float32) {
 	t.Helper()
 	for i := range s1 {
-		if s1[i] != s2[i] {
+		if math.Float64bits(s1[i]) != math.Float64bits(s2[i]) {
 			t.Fatalf("%s: epoch scalar %d differs: %v vs %v", label, i, s1[i], s2[i])
 		}
 	}
@@ -48,7 +49,7 @@ func compareTraces(t *testing.T, label string, s1, s2 []float64, p1, p2 []float3
 		t.Fatalf("%s: parameter counts differ", label)
 	}
 	for i := range p1 {
-		if p1[i] != p2[i] {
+		if math.Float32bits(p1[i]) != math.Float32bits(p2[i]) {
 			t.Fatalf("%s: parameter %d differs: %v vs %v", label, i, p1[i], p2[i])
 		}
 	}
@@ -95,7 +96,7 @@ func TestTrainEpochMiniPoolAndWorkers(t *testing.T) {
 	}
 	l1, p1 := run(1, false)
 	l2, p2 := run(8, true)
-	if l1 != l2 {
+	if math.Float64bits(l1) != math.Float64bits(l2) {
 		t.Fatalf("mini-batch loss differs: %v vs %v", l1, l2)
 	}
 	compareTraces(t, "mini 1w/unpooled vs 8w/pooled", nil, nil, p1, p2)

@@ -321,6 +321,7 @@ func (o *Options) defaults() {
 	if o.Layers == 0 {
 		o.Layers = len(o.Fanouts)
 	}
+	//bettyvet:ok floateq zero-value config sentinel: an unset LR is exactly 0
 	if o.LR == 0 {
 		o.LR = 0.01
 	}

@@ -268,7 +268,7 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 	a, b := run(), run()
 	for i := range a {
-		if a[i] != b[i] {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
 			t.Fatalf("epoch %d: losses %v vs %v differ between identical runs", i, a[i], b[i])
 		}
 	}
@@ -463,7 +463,7 @@ func TestTrainAccCountsLabeledOnlyMicro(t *testing.T) {
 	if labeled == len(seeds) {
 		t.Fatal("fixture has no masked seeds")
 	}
-	if st.TrainAcc != want {
+	if math.Float64bits(st.TrainAcc) != math.Float64bits(want) {
 		t.Fatalf("TrainAcc = %v, want %v over %d labeled of %d seeds", st.TrainAcc, want, labeled, len(seeds))
 	}
 }
@@ -484,7 +484,7 @@ func TestTrainAccCountsLabeledOnlyMini(t *testing.T) {
 	if labeled == len(eng.Runner.Data.TrainIdx) {
 		t.Fatal("fixture has no masked seeds")
 	}
-	if st.TrainAcc != wantAcc {
+	if math.Float64bits(st.TrainAcc) != math.Float64bits(wantAcc) {
 		t.Fatalf("TrainAcc = %v, want %v", st.TrainAcc, wantAcc)
 	}
 }

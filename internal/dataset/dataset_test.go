@@ -82,7 +82,7 @@ func TestGenerateDeterminism(t *testing.T) {
 		}
 	}
 	for i := range a.Features.Data {
-		if a.Features.Data[i] != b.Features.Data[i] {
+		if math.Float32bits(a.Features.Data[i]) != math.Float32bits(b.Features.Data[i]) {
 			t.Fatal("same seed produced different features")
 		}
 	}
@@ -248,7 +248,7 @@ func TestGatherHelpers(t *testing.T) {
 	}
 	for i, nid := range nids {
 		for j := 0; j < f.Cols(); j++ {
-			if f.At(i, j) != d.Features.At(int(nid), j) {
+			if math.Float32bits(f.At(i, j)) != math.Float32bits(d.Features.At(int(nid), j)) {
 				t.Fatal("gathered features mismatch")
 			}
 		}

@@ -2,6 +2,7 @@ package device
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -103,7 +104,8 @@ func TestClockAccumulation(t *testing.T) {
 	d := New(GiB, DefaultCostModel())
 	t1 := d.Transfer(12e9 / 2) // about half a second of bandwidth
 	t2 := d.Compute(5e12)      // about one second of compute
-	if d.TransferSeconds() != t1 || d.ComputeSeconds() != t2 {
+	if math.Float64bits(d.TransferSeconds()) != math.Float64bits(t1) ||
+		math.Float64bits(d.ComputeSeconds()) != math.Float64bits(t2) {
 		t.Fatal("clock accumulation mismatch")
 	}
 	if d.BytesTransferred() != 6e9 {
@@ -126,10 +128,10 @@ func TestComputeKernels(t *testing.T) {
 	// kernel launches add latency linearly
 	d2 := New(GiB, m)
 	t1 := d2.ComputeKernels(0, 1000)
-	if t1 != 1000*m.KernelLatency {
+	if math.Float64bits(t1) != math.Float64bits(1000*m.KernelLatency) {
 		t.Fatalf("kernel-only time %v", t1)
 	}
-	if d2.ComputeSeconds() != t1 {
+	if math.Float64bits(d2.ComputeSeconds()) != math.Float64bits(t1) {
 		t.Fatal("kernel time not accumulated")
 	}
 }

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -258,7 +259,7 @@ func TestSliceCarriesEdgeWeights(t *testing.T) {
 	}
 	// output 0's edges in the full outer block are positions 0..2
 	for i := 0; i < 3; i++ {
-		if mOuter.EdgeWt[i] != full[1].EdgeWt[i] {
+		if math.Float32bits(mOuter.EdgeWt[i]) != math.Float32bits(full[1].EdgeWt[i]) {
 			t.Fatalf("weight %d = %v, want %v", i, mOuter.EdgeWt[i], full[1].EdgeWt[i])
 		}
 	}

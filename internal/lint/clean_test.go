@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// TestRepositoryClean runs the full analyzer suite over the whole module
+// and requires zero active diagnostics: every real finding must be fixed
+// and every intentional one annotated before a change lands. This is the
+// in-tree twin of the CI `go run ./cmd/bettyvet ./...` gate.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is not short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := true
+	for _, p := range pkgs {
+		for _, d := range Run(p).Diags {
+			clean = false
+			t.Errorf("%s", d)
+		}
+	}
+	if !clean {
+		t.Error("bettyvet must be clean on the committed tree: fix the finding or annotate it with //bettyvet:ok <analyzer> <reason>")
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"strconv"
+)
+
+// Detrand guards DESIGN.md §8's first determinism clause: kernel outputs
+// are pure functions of their inputs and seeds. A kernel that reads the
+// global math/rand stream or the wall clock produces run-dependent results
+// that no worker-count or pooling A/B test can pin down.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid nondeterministic inputs (math/rand, crypto/rand, time.Now/Since/Until) " +
+		"in kernel packages; randomness must come from the seeded internal/rng",
+	Run: runDetrand,
+}
+
+// detrandBannedImports are whole packages kernels may not import: their
+// entire APIs are nondeterministic sources.
+var detrandBannedImports = map[string]string{
+	"math/rand":    "use the seeded betty/internal/rng instead",
+	"math/rand/v2": "use the seeded betty/internal/rng instead",
+	"crypto/rand":  "kernels need reproducible streams, not entropy",
+}
+
+// detrandBannedFuncs are individual wall-clock reads; importing time for
+// durations and formatting stays legal.
+var detrandBannedFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDetrand(p *Package) []Diagnostic {
+	if !isKernel(p.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := detrandBannedImports[path]; ok {
+				diags = append(diags, Diagnostic{
+					Analyzer: "detrand",
+					Pos:      p.pos(imp),
+					Message:  fmt.Sprintf("kernel package imports nondeterministic %s: %s", path, why),
+				})
+			}
+		}
+	}
+	for id, obj := range p.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !detrandBannedFuncs[fn.Name()] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "detrand",
+			Pos:      p.Fset.Position(id.Pos()),
+			Message: fmt.Sprintf("kernel package reads the wall clock via time.%s; "+
+				"kernel results must not depend on time (inject timestamps from the caller)", fn.Name()),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Floateq flags ==/!= between floating-point operands everywhere in the
+// repository, tests included. Exact float comparison is almost always one
+// of three intents, and each has a cleaner spelling:
+//
+//   - approximate equality → an epsilon helper (a function whose name
+//     matches floateqApproved is treated as the helper itself and may use
+//     ==/!= internally, e.g. for its fast path);
+//   - bitwise determinism checks → compare math.Float32bits /
+//     math.Float64bits, which states the actual claim and is NaN-exact;
+//   - NaN detection → x != x is recognized and allowed.
+//
+// One carve-out: in _test.go files a comparison with a compile-time
+// constant operand is allowed — the test controls both sides and asserts
+// an exact, reviewer-visible expectation (e.g. got != 2.5 after exact
+// arithmetic). Production code gets no such allowance: sentinel-zero
+// tests and constant comparisons in kernels are precisely the bug class,
+// so intentional ones carry a reasoned //bettyvet:ok floateq annotation.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc: "forbid ==/!= on floating-point operands outside approved epsilon/bit-equality " +
+		"helpers; use epsilon comparison, Float32bits, or an annotation",
+	Run: runFloateq,
+}
+
+// floateqApproved matches the names of functions allowed to compare floats
+// exactly: the epsilon/closeness helpers themselves.
+var floateqApproved = regexp.MustCompile(`(?i)(approx|almost|near|eps|ulp|close)`)
+
+func runFloateq(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		testFile := p.isTestFile(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if floateqApproved.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloatOperand(p, be.X) && !isFloatOperand(p, be.Y) {
+					return true
+				}
+				// x != x is the portable NaN test.
+				if be.Op == token.NEQ && types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true
+				}
+				if testFile && (isConstExpr(p, be.X) || isConstExpr(p, be.Y)) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: "floateq",
+					Pos:      p.pos(be),
+					Message: "exact ==/!= on floating-point operands: use an epsilon helper for " +
+						"approximate equality or math.Float32bits/Float64bits for bitwise claims, " +
+						"or annotate //bettyvet:ok floateq <reason>",
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// isConstExpr reports whether the type checker evaluated e to a
+// compile-time constant.
+func isConstExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isFloatOperand reports whether e's type (after any implicit conversion
+// recorded by the type checker) is a floating-point type.
+func isFloatOperand(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

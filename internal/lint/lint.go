@@ -1,0 +1,262 @@
+// Package lint implements bettyvet, the project-specific static-analysis
+// suite that machine-checks the invariants the training stack's correctness
+// rests on (DESIGN.md §9):
+//
+//   - detrand: kernel packages draw randomness only from the seeded
+//     internal/rng and never read the wall clock, so every kernel output is
+//     a pure function of its inputs and seeds.
+//   - shardpure: shard boundaries depend only on the problem, never on the
+//     worker count — runtime.NumCPU, runtime.GOMAXPROCS, and
+//     parallel.Workers are off-limits outside internal/parallel.
+//   - mapiter: no kernel feeds ordered output from an unsorted map
+//     iteration.
+//   - pooldisc: every tape created is released (or has its ownership
+//     transferred), and pooled tensors from Tape.Alloc never escape into
+//     struct fields or return values.
+//   - floateq: floating-point values are never compared with ==/!= outside
+//     approved epsilon/bit-equality helpers.
+//
+// The suite is zero-dependency: packages are enumerated with `go list
+// -json`, parsed with go/parser, and type-checked with go/types against the
+// source importer, so it runs fully offline. Intentional violations are
+// suppressed with a reasoned annotation on the offending line or the line
+// above it:
+//
+//	//bettyvet:ok <analyzer> <reason>
+//
+// A suppression without a reason (or naming an unknown analyzer) is itself
+// reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// An Analyzer inspects one type-checked package and reports findings.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full bettyvet suite in report order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Detrand, Shardpure, Mapiter, Pooldisc, Floateq}
+}
+
+// kernelPrefixes are the import paths of the kernel packages whose outputs
+// must be bitwise-deterministic. Scoped analyzers apply to these packages
+// and their subpackages only.
+var kernelPrefixes = []string{
+	"betty/internal/tensor",
+	"betty/internal/graph",
+	"betty/internal/reg",
+	"betty/internal/partition",
+	"betty/internal/sample",
+	"betty/internal/sparse",
+	"betty/internal/parallel",
+}
+
+// isKernel reports whether path is a kernel package (or a subpackage of
+// one). External test packages ("pkg_test") share their package's scope.
+func isKernel(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, pre := range kernelPrefixes {
+		if path == pre || strings.HasPrefix(path, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path scoped analyzers dispatch on. External test
+	// packages carry their "_test" suffix.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// pos returns the position of n in p's file set.
+func (p *Package) pos(n ast.Node) token.Position { return p.Fset.Position(n.Pos()) }
+
+// isTestFile reports whether f is a _test.go file.
+func (p *Package) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Result separates the findings that stand from those silenced by a
+// reasoned //bettyvet:ok annotation; both are position-sorted. Suppressed
+// findings are kept so tests can assert a suppression actually matched a
+// finding rather than the analyzer missing the line.
+type Result struct {
+	Diags      []Diagnostic
+	Suppressed []Diagnostic
+}
+
+// Run executes the full analyzer suite on p and applies suppressions.
+func Run(p *Package) Result {
+	var all []Diagnostic
+	for _, a := range Analyzers() {
+		all = append(all, a.Run(p)...)
+	}
+	sup, malformed := parseSuppressions(p)
+	res := Result{Diags: malformed}
+	for _, d := range all {
+		if sup.covers(d) {
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Diags = append(res.Diags, d)
+		}
+	}
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	return res
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// suppressionKey identifies one (file, line, analyzer) a //bettyvet:ok
+// comment silences.
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressionSet map[suppressionKey]bool
+
+func (s suppressionSet) covers(d Diagnostic) bool {
+	return s[suppressionKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+}
+
+// suppressPrefix introduces a suppression comment. The full syntax is
+// "//bettyvet:ok <analyzer> <reason>"; the annotation covers its own line
+// and the line below, so it can trail the offending statement or sit on its
+// own line above it.
+const suppressPrefix = "bettyvet:ok"
+
+// parseSuppressions collects every //bettyvet:ok annotation in p. Malformed
+// annotations — unknown analyzer or missing reason — are returned as
+// diagnostics of the pseudo-analyzer "bettyvet" so a suppression can never
+// silently rot into a no-op.
+func parseSuppressions(p *Package) (suppressionSet, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	set := make(suppressionSet)
+	var malformed []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+suppressPrefix)
+				if !ok {
+					continue
+				}
+				pos := p.pos(c)
+				fields := strings.Fields(text)
+				if len(fields) == 0 || !known[fields[0]] {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "bettyvet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("suppression %q must name a known analyzer (one of %s)", c.Text, analyzerNames()),
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "bettyvet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("suppression of %q must carry a reason: //%s %s <why this is intentional>", fields[0], suppressPrefix, fields[0]),
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set[suppressionKey{pos.Filename, line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return set, malformed
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// funcObj resolves the called function/method of a call expression, seeing
+// through parentheses. It returns nil for builtins, type conversions, and
+// calls of function-typed values.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isMethodOn reports whether fn is the named method on the given type
+// (pointer or value receiver) of the given package path.
+func isMethodOn(fn *types.Func, pkgPath, typeName, method string) bool {
+	if fn == nil || fn.Name() != method {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+}
+
+// Load enumerates patterns with `go list -json` run in dir, then parses and
+// type-checks every matched package fully offline: module-local imports are
+// resolved from the module enumeration itself (typed in dependency order)
+// and standard-library imports through the source importer, so no compiled
+// export data or network is needed.
+//
+// The returned packages are analysis views: internal _test.go files are
+// type-checked together with the package they extend, and external test
+// packages (package foo_test) are returned as packages of their own with
+// the import path "foo_test".
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// The typing universe is the whole module, so module-local imports of
+	// the targets (including test-only imports) resolve even when the
+	// patterns select a subset.
+	universe, err := goList(dir, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listPackage, len(universe))
+	for _, lp := range universe {
+		byPath[lp.ImportPath] = lp
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:   fset,
+		byPath: byPath,
+		plain:  make(map[string]*types.Package),
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+
+	var out []*Package
+	for _, lp := range targets {
+		p, err := ld.analysisPackage(lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		if len(lp.XTestGoFiles) > 0 {
+			xp, err := ld.xtestPackage(lp)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xp)
+		}
+	}
+	return out, nil
+}
+
+// goList runs `go list -json` in dir and decodes the JSON stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listPackage
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks module packages on demand, memoizing the plain
+// (non-test) variant of each so imports are shared.
+type loader struct {
+	fset   *token.FileSet
+	byPath map[string]*listPackage
+	plain  map[string]*types.Package
+	std    types.Importer
+	// visiting guards against import cycles, which would be a bug in the
+	// module but must not hang the linter.
+	visiting []string
+}
+
+// Import implements types.Importer: module-local packages come from the
+// enumeration, everything else from the source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if lp, ok := ld.byPath[path]; ok {
+		return ld.plainPackage(lp)
+	}
+	return ld.std.Import(path)
+}
+
+// plainPackage type-checks lp's GoFiles only (the importable view).
+func (ld *loader) plainPackage(lp *listPackage) (*types.Package, error) {
+	if pkg, ok := ld.plain[lp.ImportPath]; ok {
+		return pkg, nil
+	}
+	for _, v := range ld.visiting {
+		if v == lp.ImportPath {
+			return nil, fmt.Errorf("import cycle through %s", lp.ImportPath)
+		}
+	}
+	ld.visiting = append(ld.visiting, lp.ImportPath)
+	defer func() { ld.visiting = ld.visiting[:len(ld.visiting)-1] }()
+
+	files, err := ld.parse(lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, err := ld.check(lp.ImportPath, files, ld)
+	if err != nil {
+		return nil, err
+	}
+	ld.plain[lp.ImportPath] = pkg
+	return pkg, nil
+}
+
+// analysisPackage type-checks lp's GoFiles plus internal test files as one
+// package — the view the analyzers inspect.
+func (ld *loader) analysisPackage(lp *listPackage) (*Package, error) {
+	files, err := ld.parse(lp.Dir, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...))
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := ld.check(lp.ImportPath, files, ld)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: lp.ImportPath, Fset: ld.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// xtestPackage type-checks lp's external test package (package foo_test).
+func (ld *loader) xtestPackage(lp *listPackage) (*Package, error) {
+	files, err := ld.parse(lp.Dir, lp.XTestGoFiles)
+	if err != nil {
+		return nil, err
+	}
+	path := lp.ImportPath + "_test"
+	pkg, info, err := ld.check(path, files, ld)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: ld.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func (ld *loader) parse(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (ld *loader) check(path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Mapiter guards kernel output ordering: Go map iteration order is
+// deliberately randomized, so a kernel loop that ranges over a map and
+// feeds anything order-sensitive (appends to an output slice in visit
+// order, accumulates floats, emits rows) produces run-dependent bytes.
+//
+// The one recognized safe idiom is key collection for sorting: a range
+// body that only appends to slices which are later passed to a sort or
+// slices call in the same function is deterministic end-to-end and is not
+// flagged. Everything else needs either a sorted key slice or a reasoned
+// //bettyvet:ok mapiter annotation.
+//
+// The analyzer is deliberately conservative in what it excuses, not in
+// what it flags: order-insensitive map ranges it cannot prove safe must be
+// annotated, which is exactly the audit trail the invariant wants.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag range over maps in kernel packages (non-test files) unless the loop " +
+		"only collects keys that are subsequently sorted",
+	Run: runMapiter,
+}
+
+func runMapiter(p *Package) []Diagnostic {
+	if !isKernel(p.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		if p.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, mapitersIn(p, fd)...)
+		}
+	}
+	return diags
+}
+
+func mapitersIn(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sortedKeyCollection(p, fd, rs) {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "mapiter",
+			Pos:      p.pos(rs),
+			Message: "iteration over a map in a kernel package: map order is randomized, so any " +
+				"order-sensitive output becomes nondeterministic; sort the keys first or annotate " +
+				"//bettyvet:ok mapiter <reason>",
+		})
+		return true
+	})
+	return diags
+}
+
+// sortedKeyCollection reports whether rs is the safe collect-then-sort
+// idiom: every statement in the body (conditionals included) only appends
+// to slice variables, and at least one of those variables is an argument to
+// a sort./slices. call after the loop in the same function.
+func sortedKeyCollection(p *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	appended := make(map[types.Object]bool)
+	pure := true
+	var scan func(stmts []ast.Stmt)
+	scan = func(stmts []ast.Stmt) {
+		for _, st := range stmts {
+			switch s := st.(type) {
+			case *ast.AssignStmt:
+				obj := appendTarget(p, s)
+				if obj == nil {
+					pure = false
+					return
+				}
+				appended[obj] = true
+			case *ast.IfStmt:
+				if s.Init != nil || s.Else != nil {
+					pure = false
+					return
+				}
+				scan(s.Body.List)
+			default:
+				pure = false
+				return
+			}
+		}
+	}
+	scan(rs.Body.List)
+	if !pure || len(appended) == 0 {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := funcObj(p.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && appended[p.Info.ObjectOf(id)] {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// appendTarget returns the variable object of an `x = append(x, ...)`
+// statement, or nil when s is anything else.
+func appendTarget(p *Package, s *ast.AssignStmt) types.Object {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := p.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	return p.Info.ObjectOf(lhs)
+}

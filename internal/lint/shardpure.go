@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// Shardpure guards the one invariant internal/parallel is built around:
+// shard boundaries are a function of the problem (n, grain, segment
+// structure), never of how many workers happen to execute them. Any kernel
+// that reads the machine's parallelism — runtime.NumCPU, the GOMAXPROCS
+// setting, or parallel.Workers — can leak it into shard math and break
+// bitwise reproducibility across hosts and worker counts.
+//
+// parallel.SetWorkers stays legal everywhere: it configures concurrency,
+// it does not feed a value into kernel arithmetic.
+var Shardpure = &Analyzer{
+	Name: "shardpure",
+	Doc: "forbid runtime.NumCPU / runtime.GOMAXPROCS / parallel.Workers in kernel " +
+		"packages outside internal/parallel, so shard boundaries cannot depend on the worker count",
+	Run: runShardpure,
+}
+
+func runShardpure(p *Package) []Diagnostic {
+	if !isKernel(p.Path) || p.Path == "betty/internal/parallel" {
+		return nil
+	}
+	var diags []Diagnostic
+	for id, obj := range p.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		var banned bool
+		switch fn.Pkg().Path() {
+		case "runtime":
+			banned = fn.Name() == "NumCPU" || fn.Name() == "GOMAXPROCS"
+		case "betty/internal/parallel":
+			banned = fn.Name() == "Workers"
+		}
+		if !banned {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "shardpure",
+			Pos:      p.Fset.Position(id.Pos()),
+			Message: fmt.Sprintf("%s.%s read in a kernel package; shard boundaries must depend "+
+				"only on the problem, never the worker count (keep worker awareness inside internal/parallel)",
+				fn.Pkg().Name(), fn.Name()),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,13 @@
+package floateq
+
+// This file's _test.go suffix puts it under floateq's test-file carve-out:
+// comparisons against compile-time constants are allowed, comparisons of
+// two computed values are still flagged.
+
+func exactExpectation(got float32) bool {
+	return got == 2.5 // constant operand in a test file: allowed
+}
+
+func compareComputed(got, want float32) bool {
+	return got == want // want floateq
+}

@@ -1,0 +1,38 @@
+// Package floateq exercises the one analyzer that applies to every package
+// in the module, tests included.
+package floateq
+
+func badEqual(a, b float64) bool {
+	return a == b // want floateq
+}
+
+func isNaN(x float64) bool {
+	return x != x // NaN idiom: allowed
+}
+
+func approxEqual(a, b, eps float64) bool {
+	if a == b { // approved epsilon helper: may use == for its fast path
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+func converged(loss float32) bool {
+	//bettyvet:ok floateq loss is exactly zero only for the empty-batch sentinel // want-sup+1 floateq
+	return loss == 0
+}
+
+func missingReason(x float64) bool {
+	// want+1 bettyvet
+	//bettyvet:ok floateq
+	return x == 0 // want floateq
+}
+
+func unknownAnalyzer(x float64) bool {
+	//bettyvet:ok nosuch not a real analyzer // want bettyvet
+	return x != 0 // want floateq
+}

@@ -1,0 +1,19 @@
+package kernel
+
+import (
+	"math/rand" // want detrand
+	"time"
+)
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want detrand
+}
+
+func stamp() int64 {
+	//bettyvet:ok detrand coarse wall-clock only labels the trace, it never feeds kernel output // want-sup+1 detrand
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,31 @@
+package kernel
+
+import "sort"
+
+func sums(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want mapiter
+		out = append(out, v)
+	}
+	return out
+}
+
+func sortedKeys(m map[int]float64) []int {
+	var keys []int
+	for k := range m { // collect-then-sort idiom: not flagged
+		if k >= 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func size(m map[int]float64) int {
+	n := 0
+	//bettyvet:ok mapiter pure count, output is order-insensitive // want-sup+1 mapiter
+	for range m {
+		n++
+	}
+	return n
+}

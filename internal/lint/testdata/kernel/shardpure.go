@@ -1,0 +1,28 @@
+package kernel
+
+import (
+	"runtime"
+
+	"betty/internal/parallel"
+)
+
+func badGrain(n int) int {
+	return n / runtime.NumCPU() // want shardpure
+}
+
+func badProcs() int {
+	return runtime.GOMAXPROCS(0) // want shardpure
+}
+
+func badShards() int {
+	return parallel.Workers() * 2 // want shardpure
+}
+
+func okConfigure(n int) int {
+	return parallel.SetWorkers(n) // SetWorkers stays legal everywhere
+}
+
+func okAnnotatedWorkers() int {
+	//bettyvet:ok shardpure diagnostic log line only, the value never reaches shard math // want-sup+1 shardpure
+	return parallel.Workers()
+}

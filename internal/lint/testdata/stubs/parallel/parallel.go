@@ -1,0 +1,12 @@
+// Package parallel is a minimal stand-in for betty/internal/parallel with
+// just enough API surface (Workers, SetWorkers, For) for the shardpure
+// golden tests to type-check against.
+package parallel
+
+var workers = 1
+
+func Workers() int { return workers }
+
+func SetWorkers(n int) int { old := workers; workers = n; return old }
+
+func For(n, grain int, body func(lo, hi int)) { body(0, n) }

@@ -1,0 +1,19 @@
+// Package tensor is a minimal stand-in for betty/internal/tensor with just
+// enough API surface (Tensor, Tape, NewTape, Alloc, Release) for the
+// pooldisc golden tests to type-check against.
+package tensor
+
+type Tensor struct {
+	RowsN, ColsN int
+	Data         []float32
+}
+
+type Tape struct{ owned [][]float32 }
+
+func NewTape() *Tape { return &Tape{} }
+
+func (tp *Tape) Alloc(rows, cols int) *Tensor {
+	return &Tensor{RowsN: rows, ColsN: cols, Data: make([]float32, rows*cols)}
+}
+
+func (tp *Tape) Release() { tp.owned = tp.owned[:0] }

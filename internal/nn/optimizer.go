@@ -31,6 +31,7 @@ type SGD struct {
 // NewSGD returns an SGD optimizer over m's parameters.
 func NewSGD(m Module, lr, momentum float32) *SGD {
 	s := &SGD{LR: lr, Momentum: momentum, params: m.Params()}
+	//bettyvet:ok floateq zero-value config sentinel: momentum 0 means plain SGD with no velocity state
 	if momentum != 0 {
 		s.velocity = make([]*tensor.Tensor, len(s.params))
 		for i, p := range s.params {
@@ -45,6 +46,7 @@ func (s *SGD) Name() string { return "sgd" }
 
 // StateSize implements Optimizer.
 func (s *SGD) StateSize() int {
+	//bettyvet:ok floateq zero-value config sentinel: momentum 0 means plain SGD with no velocity state
 	if s.Momentum != 0 {
 		return 1
 	}
@@ -57,6 +59,7 @@ func (s *SGD) Step() {
 		if p.Grad == nil {
 			continue
 		}
+		//bettyvet:ok floateq zero-value config sentinel: momentum 0 means plain SGD with no velocity state
 		if s.Momentum != 0 {
 			v := s.velocity[i]
 			for j := range v.Data {

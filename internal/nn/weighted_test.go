@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"math"
 	"testing"
 
 	"betty/internal/graph"
@@ -94,7 +95,7 @@ func TestUnitWeightsMatchUnweighted(t *testing.T) {
 	tp2 := tensor.NewTape()
 	o2 := conv.Forward(tp2, weighted, h)
 	for i := range o1.Value.Data {
-		if o1.Value.Data[i] != o2.Value.Data[i] {
+		if math.Float32bits(o1.Value.Data[i]) != math.Float32bits(o2.Value.Data[i]) {
 			t.Fatalf("unit weights diverge at %d: %v vs %v", i, o1.Value.Data[i], o2.Value.Data[i])
 		}
 	}

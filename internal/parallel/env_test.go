@@ -1,0 +1,31 @@
+package parallel
+
+import "testing"
+
+func TestParseWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"", 0, true}, // unset: caller falls back to GOMAXPROCS
+		{"1", 1, true},
+		{"8", 8, true},
+		{"64", 64, true},
+		{"0", 0, false},
+		{"-3", 0, false},
+		{"eight", 0, false},
+		{"2.5", 0, false},
+		{" 4", 0, false},
+		{"4 ", 0, false},
+		{"0x4", 0, false},
+	} {
+		got, err := ParseWorkers(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseWorkers(%q) = %d, %v; want %d, nil", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseWorkers(%q) = %d, nil; want error", tc.in, got)
+		}
+	}
+}

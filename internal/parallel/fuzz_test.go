@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// FuzzShards fuzzes the one invariant everything else stands on: For's
+// shard decomposition covers [0, n) exactly once, matches NumShards, and
+// is identical at every worker count.
+func FuzzShards(f *testing.F) {
+	f.Add(0, 1)
+	f.Add(1, 1)
+	f.Add(7, 3)
+	f.Add(16, 4)
+	f.Add(100, 1)
+	f.Add(5, 100)
+	f.Add(33, 0)
+	f.Add(-2, 5)
+	f.Fuzz(func(t *testing.T, n, grain int) {
+		if n > 1<<16 || n < -8 || grain > 1<<16 || grain < -8 {
+			t.Skip("bounded problem sizes keep the fuzz fast")
+		}
+		collect := func(w int) [][2]int {
+			defer SetWorkers(SetWorkers(w))
+			var mu sync.Mutex
+			var shards [][2]int
+			For(n, grain, func(lo, hi int) {
+				mu.Lock()
+				shards = append(shards, [2]int{lo, hi})
+				mu.Unlock()
+			})
+			sort.Slice(shards, func(i, j int) bool { return shards[i][0] < shards[j][0] })
+			return shards
+		}
+		serial := collect(1)
+		if want := NumShards(n, grain); len(serial) != want {
+			t.Fatalf("For(%d, %d) ran %d shards, NumShards says %d", n, grain, len(serial), want)
+		}
+		covered := 0
+		for i, s := range serial {
+			if s[0] >= s[1] {
+				t.Fatalf("For(%d, %d): empty shard [%d, %d)", n, grain, s[0], s[1])
+			}
+			if i == 0 && s[0] != 0 {
+				t.Fatalf("For(%d, %d): first shard starts at %d", n, grain, s[0])
+			}
+			if i > 0 && serial[i-1][1] != s[0] {
+				t.Fatalf("For(%d, %d): gap or overlap between [.., %d) and [%d, ..)", n, grain, serial[i-1][1], s[0])
+			}
+			covered += s[1] - s[0]
+		}
+		if n > 0 && (covered != n || serial[len(serial)-1][1] != n) {
+			t.Fatalf("For(%d, %d) covered %d elements", n, grain, covered)
+		}
+		if n <= 0 && covered != 0 {
+			t.Fatalf("For(%d, %d) ran shards on an empty range", n, grain)
+		}
+		for _, w := range []int{2, 8} {
+			got := collect(w)
+			if len(got) != len(serial) {
+				t.Fatalf("workers=%d: %d shards, serial %d", w, len(got), len(serial))
+			}
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Fatalf("workers=%d: shard %d = %v, serial %v", w, i, got[i], serial[i])
+				}
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@
 package parallel
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -30,19 +31,39 @@ func init() {
 	workers.Store(int64(defaultWorkers()))
 }
 
-// defaultWorkers returns GOMAXPROCS, overridden by BETTY_WORKERS when set
-// to a positive integer.
+// ParseWorkers validates a BETTY_WORKERS override: it must be a positive
+// decimal integer. The empty string means "unset" and returns (0, nil) so
+// the caller falls back to GOMAXPROCS. Anything else — garbage, zero, or a
+// negative count — is an error: a typo must fail loudly rather than
+// silently train on a different worker count than the experiment intended.
+func ParseWorkers(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	k, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("BETTY_WORKERS=%q: not an integer (want a positive worker count)", v)
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("BETTY_WORKERS=%d: worker count must be positive", k)
+	}
+	return k, nil
+}
+
+// defaultWorkers returns GOMAXPROCS, overridden by BETTY_WORKERS when set.
+// An invalid BETTY_WORKERS value panics at startup.
 func defaultWorkers() int {
-	n := runtime.GOMAXPROCS(0)
-	if v := os.Getenv("BETTY_WORKERS"); v != "" {
-		if k, err := strconv.Atoi(v); err == nil && k > 0 {
-			n = k
-		}
+	k, err := ParseWorkers(os.Getenv("BETTY_WORKERS"))
+	if err != nil {
+		panic("parallel: " + err.Error())
 	}
-	if n < 1 {
-		n = 1
+	if k > 0 {
+		return k
 	}
-	return n
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
 }
 
 // Workers returns the current worker count.

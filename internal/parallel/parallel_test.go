@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestMapReduceDeterministicFloats(t *testing.T) {
 	}
 	want := sum(1)
 	for _, w := range []int{2, 4, 8} {
-		if got := sum(w); got != want {
+		if got := sum(w); math.Float32bits(got) != math.Float32bits(want) {
 			t.Fatalf("workers=%d sum %v != serial %v", w, got, want)
 		}
 	}

@@ -178,6 +178,7 @@ func (m *Metis) coarsen(g *WeightedGraph, r *rng.RNG) (*WeightedGraph, []int32) 
 				if cu == c {
 					continue
 				}
+				//bettyvet:ok floateq edge weights are positive REG counts, so zero marks first touch exactly
 				if acc[cu] == 0 {
 					touched = append(touched, cu)
 				}
@@ -274,6 +275,7 @@ func refine(g *WeightedGraph, parts []int32, k int, maxAllowed float64, passes i
 			connTouched = connTouched[:0]
 			for i, u := range adj {
 				p := parts[u]
+				//bettyvet:ok floateq edge weights are positive REG counts, so zero marks first touch exactly
 				if conn[p] == 0 {
 					connTouched = append(connTouched, p)
 				}
@@ -299,6 +301,7 @@ func refine(g *WeightedGraph, parts []int32, k int, maxAllowed float64, passes i
 			if best >= 0 {
 				gain := bestConn - internal
 				if gain > 0 ||
+					//bettyvet:ok floateq FM tie detection; weights are integer-valued counts so sums and differences are exact
 					(gain == 0 && partWt[best]+nwt < partWt[cur]) ||
 					(overweight && partWt[best]+nwt < partWt[cur]) {
 					moveNode(v, cur, best, nwt, parts, partWt, sizes)

@@ -221,6 +221,7 @@ func Balance(g *WeightedGraph, parts []int32, k int) float64 {
 			maxw = x
 		}
 	}
+	//bettyvet:ok floateq division guard; weights are non-negative so the sum is exactly zero only when all are
 	if total == 0 {
 		return 1
 	}

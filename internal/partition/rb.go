@@ -185,6 +185,7 @@ func refineTargets(g *WeightedGraph, parts []int32, maxAllowed []float64, passes
 			connTouched = connTouched[:0]
 			for i, u := range adj {
 				p := parts[u]
+				//bettyvet:ok floateq edge weights are positive REG counts, so zero marks first touch exactly
 				if conn[p] == 0 {
 					connTouched = append(connTouched, p)
 				}
@@ -206,6 +207,7 @@ func refineTargets(g *WeightedGraph, parts []int32, maxAllowed []float64, passes
 			overweight := partWt[cur] > maxAllowed[cur]
 			if best >= 0 {
 				gain := bestConn - internal
+				//bettyvet:ok floateq FM tie detection; weights are integer-valued counts so sums and differences are exact
 				if gain > 0 || (gain == 0 && partWt[best]+nwt < partWt[cur]) ||
 					(overweight && partWt[best]+nwt < partWt[cur]) {
 					moveNode(v, cur, best, nwt, parts, partWt, sizes)

@@ -95,6 +95,7 @@ func emitPairs(counts, srcDst []int32, nDst, lo, hi int) []wedge {
 		scratch = scratch[:0]
 		for p := plo; p < phi; p++ {
 			d := srcDst[p]
+			//bettyvet:ok floateq mult holds increment-only occurrence counts, so zero marks first touch exactly
 			if mult[d] == 0 {
 				scratch = append(scratch, d)
 			}

@@ -1,6 +1,7 @@
 package reg
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -25,7 +26,7 @@ func regEqual(t *testing.T, a, b interface {
 			mA[u] = wA[i]
 		}
 		for i, u := range adjB {
-			if mA[u] != wB[i] {
+			if math.Float32bits(mA[u]) != math.Float32bits(wB[i]) {
 				return false
 			}
 		}
@@ -182,7 +183,7 @@ func TestFastParallelDeterminism(t *testing.T) {
 			}
 		}
 		for i := range want.Adj {
-			if got.Adj[i] != want.Adj[i] || got.EWt[i] != want.EWt[i] {
+			if got.Adj[i] != want.Adj[i] || math.Float32bits(got.EWt[i]) != math.Float32bits(want.EWt[i]) {
 				t.Fatalf("workers=%d: edge %d (%d, %v) differs from serial (%d, %v)",
 					w, i, got.Adj[i], got.EWt[i], want.Adj[i], want.EWt[i])
 			}

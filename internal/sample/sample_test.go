@@ -2,6 +2,7 @@ package sample
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -271,7 +272,7 @@ func TestSampleCarriesEdgeWeights(t *testing.T) {
 	}
 	for p := range b.EdgeWt {
 		want := g.EdgeWeight(b.EID[p])
-		if b.EdgeWt[p] != want {
+		if math.Float32bits(b.EdgeWt[p]) != math.Float32bits(want) {
 			t.Fatalf("edge %d weight %v, want %v", p, b.EdgeWt[p], want)
 		}
 	}

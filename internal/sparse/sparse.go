@@ -63,22 +63,29 @@ func (m *CSR) dedup() *CSR {
 	outCol := make([]int32, 0, len(m.ColIdx))
 	outVal := make([]float32, 0, len(m.Val))
 	acc := make([]float32, m.NumCols)
+	// First-touch detection uses an explicit mark, not acc[c] == 0: partial
+	// sums that cancel to exact zero mid-row must not re-enter touched, or
+	// the output row would carry duplicate columns.
+	mark := make([]bool, m.NumCols)
 	touched := make([]int32, 0, 64)
 	for i := 0; i < m.NumRows; i++ {
 		touched = touched[:0]
 		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
 			c := m.ColIdx[p]
-			if acc[c] == 0 {
+			if !mark[c] {
+				mark[c] = true
 				touched = append(touched, c)
 			}
 			acc[c] += m.Val[p]
 		}
 		for _, c := range touched {
+			//bettyvet:ok floateq sparse formats drop entries that sum to exactly zero by definition
 			if acc[c] != 0 {
 				outCol = append(outCol, c)
 				outVal = append(outVal, acc[c])
 			}
 			acc[c] = 0
+			mark[c] = false
 		}
 		outPtr[i+1] = int64(len(outCol))
 	}
@@ -133,6 +140,9 @@ func (m *CSR) MatMul(b *CSR) (*CSR, error) {
 	outCol := make([]int32, 0, m.NNZ())
 	outVal := make([]float32, 0, m.NNZ())
 	acc := make([]float32, b.NumCols)
+	// Explicit first-touch mark: acc[c] == 0 would re-append a column whose
+	// partial products cancelled to exact zero, duplicating CSR entries.
+	mark := make([]bool, b.NumCols)
 	touched := make([]int32, 0, 256)
 	for i := 0; i < m.NumRows; i++ {
 		touched = touched[:0]
@@ -141,18 +151,21 @@ func (m *CSR) MatMul(b *CSR) (*CSR, error) {
 			av := m.Val[p]
 			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
 				c := b.ColIdx[q]
-				if acc[c] == 0 {
+				if !mark[c] {
+					mark[c] = true
 					touched = append(touched, c)
 				}
 				acc[c] += av * b.Val[q]
 			}
 		}
 		for _, c := range touched {
+			//bettyvet:ok floateq sparse formats drop entries that sum to exactly zero by definition
 			if acc[c] != 0 {
 				outCol = append(outCol, c)
 				outVal = append(outVal, acc[c])
 			}
 			acc[c] = 0
+			mark[c] = false
 		}
 		outPtr[i+1] = int64(len(outCol))
 	}

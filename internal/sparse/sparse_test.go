@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -84,7 +85,7 @@ func TestTransposeAgainstDense(t *testing.T) {
 	d, dt := dense(m), dense(mt)
 	for i := 0; i < 7; i++ {
 		for j := 0; j < 4; j++ {
-			if d[i][j] != dt[j][i] {
+			if math.Float32bits(d[i][j]) != math.Float32bits(dt[j][i]) {
 				t.Fatalf("transpose mismatch at %d,%d", i, j)
 			}
 		}
@@ -106,7 +107,7 @@ func TestMatMulAgainstDense(t *testing.T) {
 		got := dense(c)
 		for i := 0; i < m; i++ {
 			for j := 0; j < n; j++ {
-				if got[i][j] != want[i][j] {
+				if math.Float32bits(got[i][j]) != math.Float32bits(want[i][j]) {
 					return false
 				}
 			}
@@ -155,7 +156,7 @@ func TestGramSymmetry(t *testing.T) {
 		d := dense(c)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				if d[i][j] != d[j][i] || d[i][j] < 0 {
+				if math.Float32bits(d[i][j]) != math.Float32bits(d[j][i]) || d[i][j] < 0 {
 					return false
 				}
 			}
@@ -232,9 +233,64 @@ func TestGramMatchesExplicitProduct(t *testing.T) {
 	dw, dg := dense(want), dense(got)
 	for i := range dw {
 		for j := range dw[i] {
-			if dw[i][j] != dg[i][j] {
+			if math.Float32bits(dw[i][j]) != math.Float32bits(dg[i][j]) {
 				t.Fatalf("Gram mismatch at %d,%d", i, j)
 			}
 		}
+	}
+}
+
+// TestDedupCancellationNoDuplicateColumns pins the accumulator's
+// first-touch marking: contributions that cancel to exactly zero mid-row
+// must neither re-register the column (duplicating CSR entries) nor leave
+// a stored zero behind.
+func TestDedupCancellationNoDuplicateColumns(t *testing.T) {
+	// Column 1 receives 2, -2 (cancel), then 5; column 2 receives 3, -3
+	// (cancels away entirely).
+	m, err := NewCOO(1, 4,
+		[]int32{0, 0, 0, 0, 0},
+		[]int32{1, 1, 1, 2, 2},
+		[]float32{2, -2, 5, 3, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (col 1 once, cancelled col 2 dropped): cols %v vals %v",
+			m.NNZ(), m.ColIdx, m.Val)
+	}
+	seen := make(map[int32]bool)
+	for _, c := range m.ColIdx {
+		if seen[c] {
+			t.Fatalf("duplicate column %d in row 0: %v", c, m.ColIdx)
+		}
+		seen[c] = true
+	}
+	if m.At(0, 1) != 5 {
+		t.Fatalf("At(0,1) = %v, want 5", m.At(0, 1))
+	}
+}
+
+// TestMatMulCancellationNoDuplicateColumns is the SpGEMM twin: partial
+// products that cancel mid-accumulation must not duplicate output columns.
+func TestMatMulCancellationNoDuplicateColumns(t *testing.T) {
+	// a = [1 -1 1]; every b row is [1], so (0,0) accumulates 1, -1
+	// (cancelling to zero mid-row), then 1.
+	a, err := NewCOO(1, 3, []int32{0, 0, 0}, []int32{0, 1, 2}, []float32{1, -1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCOO(3, 1, []int32{0, 1, 2}, []int32{0, 0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.MatMul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 1 || c.ColIdx[0] != 0 {
+		t.Fatalf("product NNZ = %d cols %v, want one entry at col 0", c.NNZ(), c.ColIdx)
+	}
+	if c.At(0, 0) != 1 {
+		t.Fatalf("At(0,0) = %v, want 1", c.At(0, 0))
 	}
 }

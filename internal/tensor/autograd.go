@@ -80,7 +80,7 @@ type Tape struct {
 	// holds one across micro-batches) records its whole graph without
 	// allocating a single header. Chunks are never reallocated in place, so
 	// handed-out pointers stay valid until Release recycles them.
-	varChunks [][]Var
+	varChunks  [][]Var
 	varC, varI int
 	tenChunks  [][]Tensor
 	tenC, tenI int
@@ -1035,6 +1035,7 @@ func (tp *Tape) Dropout(a *Var, p float32, r *rng.RNG) *Var {
 	av := a.Value.Data
 	parallel.For(len(av), elemGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			//bettyvet:ok floateq dropout mask entries are exactly 0 or 1/keep by construction
 			if mask[i] != 0 {
 				val.Data[i] = av[i] * mask[i]
 			}

@@ -175,7 +175,7 @@ func TestScatterRowsUnassignedRowsZero(t *testing.T) {
 			if i == 2 {
 				want = a.Value.At(0, j)
 			}
-			if out.Value.At(i, j) != want {
+			if math.Float32bits(out.Value.At(i, j)) != math.Float32bits(want) {
 				t.Fatalf("scatter[%d][%d] = %v", i, j, out.Value.At(i, j))
 			}
 		}

@@ -1,0 +1,32 @@
+package tensor
+
+import "testing"
+
+func TestParsePoolMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want bool
+		ok   bool
+	}{
+		{"", true, true}, // unset: pooling defaults to on
+		{"1", true, true},
+		{"t", true, true},
+		{"true", true, true},
+		{"TRUE", true, true},
+		{"0", false, true},
+		{"f", false, true},
+		{"false", false, true},
+		{"yes", false, false},
+		{"on", false, false},
+		{"2", false, false},
+		{" 1", false, false},
+	} {
+		got, err := ParsePoolMode(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParsePoolMode(%q) = %v, %v; want %v, nil", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParsePoolMode(%q) = %v, nil; want error", tc.in, got)
+		}
+	}
+}

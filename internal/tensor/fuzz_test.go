@@ -1,0 +1,54 @@
+package tensor
+
+import "testing"
+
+// FuzzInvertIndex fuzzes the gather-index inversion the deterministic
+// scatter-add kernels iterate over: cnt must be a valid prefix-sum table,
+// pos a permutation of the index positions, and each row's positions must
+// come back in ascending order (the serial accumulation order).
+func FuzzInvertIndex(f *testing.F) {
+	f.Add(4, []byte{0, 1, 2, 3})
+	f.Add(1, []byte{0, 0, 0})
+	f.Add(3, []byte{2, 2, 0})
+	f.Add(5, []byte{})
+	f.Add(2, []byte{1, 0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, rows int, raw []byte) {
+		if rows < 1 || rows > 1<<12 || len(raw) > 1<<12 {
+			t.Skip("bounded problem sizes keep the fuzz fast")
+		}
+		idx := make([]int32, len(raw))
+		for i, b := range raw {
+			idx[i] = int32(int(b) % rows)
+		}
+		cnt, pos := invertIndex(idx, rows)
+		if len(cnt) != rows+1 || len(pos) != len(idx) {
+			t.Fatalf("invertIndex returned %d counts, %d positions for %d rows, %d indices",
+				len(cnt), len(pos), rows, len(idx))
+		}
+		if cnt[0] != 0 || int(cnt[rows]) != len(idx) {
+			t.Fatalf("cnt[0] = %d, cnt[rows] = %d; want 0 and %d", cnt[0], cnt[rows], len(idx))
+		}
+		seen := make([]bool, len(idx))
+		for r := 0; r < rows; r++ {
+			if cnt[r] > cnt[r+1] {
+				t.Fatalf("cnt not non-decreasing at row %d: %d > %d", r, cnt[r], cnt[r+1])
+			}
+			for q := cnt[r]; q < cnt[r+1]; q++ {
+				p := pos[q]
+				if p < 0 || int(p) >= len(idx) {
+					t.Fatalf("pos[%d] = %d out of range", q, p)
+				}
+				if seen[p] {
+					t.Fatalf("position %d listed twice: pos is not a permutation", p)
+				}
+				seen[p] = true
+				if idx[p] != int32(r) {
+					t.Fatalf("pos[%d] = %d has idx %d, filed under row %d", q, p, idx[p], r)
+				}
+				if q > cnt[r] && pos[q-1] >= p {
+					t.Fatalf("row %d positions not ascending: %d then %d", r, pos[q-1], p)
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"math"
 	"testing"
 
 	"betty/internal/parallel"
@@ -181,7 +182,7 @@ func parallelOpCases() map[string]func() []float32 {
 		logits := Param(randTensor(r, rows, classes))
 		labels := make([]int32, rows)
 		for i := range labels {
-			labels[i] = int32(r.Intn(classes + 1)) - 1 // some masked (-1)
+			labels[i] = int32(r.Intn(classes+1)) - 1 // some masked (-1)
 		}
 		loss := tp.SoftmaxCrossEntropy(logits, labels)
 		tp.Backward(loss)
@@ -252,7 +253,7 @@ func TestParallelKernelsBitwiseDeterministic(t *testing.T) {
 				t.Fatalf("result sizes differ: %d vs %d", len(serial), len(par))
 			}
 			for i := range serial {
-				if serial[i] != par[i] {
+				if math.Float32bits(serial[i]) != math.Float32bits(par[i]) {
 					t.Fatalf("float %d differs: serial %v vs 8 workers %v", i, serial[i], par[i])
 				}
 			}
@@ -276,7 +277,7 @@ func TestParallelKernelsPoolInvariant(t *testing.T) {
 				t.Fatalf("result sizes differ: %d vs %d", len(unpooled), len(pooled))
 			}
 			for i := range unpooled {
-				if unpooled[i] != pooled[i] {
+				if math.Float32bits(unpooled[i]) != math.Float32bits(pooled[i]) {
 					t.Fatalf("float %d differs: pool off %v vs on %v", i, unpooled[i], pooled[i])
 				}
 			}

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math/bits"
 	"os"
 	"strconv"
@@ -49,14 +50,30 @@ var (
 
 func init() { poolEnabled.Store(defaultPooling()) }
 
-// defaultPooling reads the BETTY_POOL environment toggle (default on).
-func defaultPooling() bool {
-	if v := os.Getenv("BETTY_POOL"); v != "" {
-		if on, err := strconv.ParseBool(v); err == nil {
-			return on
-		}
+// ParsePoolMode validates a BETTY_POOL override, accepting exactly the
+// strconv.ParseBool spellings (1/0, t/f, true/false, ...). The empty
+// string means "unset" and returns the default (pooling on). Garbage is an
+// error: a typo must fail loudly, not silently run an A/B benchmark with
+// the wrong arm.
+func ParsePoolMode(v string) (bool, error) {
+	if v == "" {
+		return true, nil
 	}
-	return true
+	on, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("BETTY_POOL=%q: not a boolean (want 1/0, true/false, t/f)", v)
+	}
+	return on, nil
+}
+
+// defaultPooling reads the BETTY_POOL environment toggle (default on). An
+// invalid BETTY_POOL value panics at startup.
+func defaultPooling() bool {
+	on, err := ParsePoolMode(os.Getenv("BETTY_POOL"))
+	if err != nil {
+		panic("tensor: " + err.Error())
+	}
+	return on
 }
 
 // PoolingEnabled reports whether the tape buffer pool is active.

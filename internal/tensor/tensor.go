@@ -153,6 +153,7 @@ func matMulInto(out, a, b *Tensor, accum bool) {
 			orow := out.Row(i)
 			for k := 0; k < a.ColsN; k++ {
 				av := arow[k]
+				//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
 				if av == 0 {
 					continue
 				}
@@ -192,6 +193,7 @@ func matMulTAInto(out, a, b *Tensor, accum bool) {
 			brow := b.Row(k)
 			for i := lo; i < hi; i++ {
 				av := arow[i]
+				//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
 				if av == 0 {
 					continue
 				}

@@ -51,7 +51,7 @@ func TestMatMulKnown(t *testing.T) {
 	c := MatMul(a, b)
 	want := []float32{58, 64, 139, 154}
 	for i, v := range want {
-		if c.Data[i] != v {
+		if math.Float32bits(c.Data[i]) != math.Float32bits(v) {
 			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], v)
 		}
 	}
@@ -72,7 +72,7 @@ func TestTransposeInvolution(t *testing.T) {
 	a.Randn(r, 1)
 	b := Transpose(Transpose(a))
 	for i := range a.Data {
-		if a.Data[i] != b.Data[i] {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
 			t.Fatal("transpose twice is not identity")
 		}
 	}
@@ -142,7 +142,7 @@ func TestAXPY(t *testing.T) {
 	AXPY(a, 2, b)
 	want := []float32{21, 42, 63}
 	for i, v := range want {
-		if a.Data[i] != v {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(v) {
 			t.Fatalf("AXPY[%d] = %v, want %v", i, a.Data[i], v)
 		}
 	}

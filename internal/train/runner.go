@@ -222,6 +222,7 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 		res.ComputeSeconds += r.Dev.ComputeKernels(r.Model.Flops(blocks), 3*tp.NumOps())
 		res.PeakBytes = r.Dev.Peak()
 	}
+	//bettyvet:ok floateq identity-scale fast path: scale is exactly 1 when no loss rescaling was requested
 	if scale != 1 {
 		loss = tp.Scale(loss, scale)
 	}

@@ -2,6 +2,7 @@ package train
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"betty/internal/dataset"
@@ -142,7 +143,7 @@ func TestStepAppliesAndClears(t *testing.T) {
 	after := r.Model.Params()[0].Value
 	changed := false
 	for i := range before.Data {
-		if before.Data[i] != after.Data[i] {
+		if math.Float32bits(before.Data[i]) != math.Float32bits(after.Data[i]) {
 			changed = true
 			break
 		}
@@ -268,7 +269,7 @@ func TestEvaluateSkipsMaskedLabels(t *testing.T) {
 		}
 	}
 	want := float64(zeros) / float64(labeled)
-	if got != want {
+	if math.Float64bits(got) != math.Float64bits(want) {
 		t.Fatalf("Evaluate = %v, want %v (%d/%d labeled)", got, want, zeros, labeled)
 	}
 }
@@ -302,7 +303,7 @@ func TestEvaluateParallelDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != want {
+		if math.Float64bits(got) != math.Float64bits(want) {
 			t.Fatalf("workers=%d: accuracy %v != serial %v", w, got, want)
 		}
 	}
