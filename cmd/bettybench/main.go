@@ -42,6 +42,7 @@ func main() {
 		}
 		fmt.Printf("speedup(8w, pooled): %.2fx   alloc reduction (pool): %.1fx   byte reduction (pool): %.0fx   (host CPUs: %d)\n",
 			rep.SpeedupPooled8W, rep.AllocReduction, rep.ByteReduction, rep.HostCPUs)
+		fmt.Printf("embedded %d obs records from one instrumented step\n", len(rep.ObsRecords))
 		return
 	}
 

@@ -9,92 +9,154 @@
 //	bettytrain -dataset reddit -scale 0.1 -model gat -heads 2 -epochs 10
 //	bettytrain -dataset cora -partitioner random -k 8 -epochs 20
 //	bettytrain -dataset ogbn-arxiv -scale 0.2 -devices 4 -epochs 5
+//	bettytrain -dataset cora -epochs 5 -metrics run.ndjson -trace
+//
+// With -metrics the run's counters, gauges, and per-phase histograms are
+// written as NDJSON (see DESIGN.md §10); -trace additionally records one
+// span per pipeline phase of every micro-batch. Both the metrics file and
+// the -checkpoint file are flushed on error paths too, so a failed run
+// still leaves a readable record of everything up to the failure.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"betty/internal/checkpoint"
 	"betty/internal/core"
 	"betty/internal/dataset"
 	"betty/internal/device"
 	"betty/internal/memory"
 	"betty/internal/nn"
+	"betty/internal/obs"
 	"betty/internal/reg"
 )
 
-func main() {
-	var (
-		dsName      = flag.String("dataset", "ogbn-arxiv", "dataset: "+strings.Join(dataset.Names(), ", "))
-		scale       = flag.Float64("scale", 0.2, "dataset scale in (0,1]")
-		model       = flag.String("model", "sage", "model: sage, gat, or gcn")
-		agg         = flag.String("agg", "mean", "SAGE aggregator: mean, sum, pool, lstm")
-		hidden      = flag.Int("hidden", 64, "hidden width")
-		heads       = flag.Int("heads", 4, "GAT attention heads")
-		fanoutsFlag = flag.String("fanouts", "5,10", "per-layer fanouts, input-first (layers = count)")
-		epochs      = flag.Int("epochs", 10, "training epochs")
-		lr          = flag.Float64("lr", 0.01, "Adam learning rate")
-		capacityMiB = flag.Int64("capacity", 0, "simulated device capacity in MiB (0 = unbounded)")
-		k           = flag.Int("k", 0, "fixed micro-batch count (0 = memory-aware planner)")
-		partName    = flag.String("partitioner", "betty", "batch partitioner: betty, metis, random, range")
-		devices     = flag.Int("devices", 1, "number of simulated devices (data-parallel)")
-		adaptive    = flag.Bool("adaptive", false, "learn a planner safety margin from measured peaks")
-		seed        = flag.Uint64("seed", 1, "random seed")
-	)
-	flag.Parse()
+// runConfig carries every knob of one bettytrain invocation; main fills it
+// from flags, tests construct it directly.
+type runConfig struct {
+	dataset     string
+	scale       float64
+	model       string
+	agg         string
+	hidden      int
+	heads       int
+	fanouts     string
+	epochs      int
+	lr          float32
+	capacityMiB int64
+	k           int
+	partitioner string
+	devices     int
+	adaptive    bool
+	seed        uint64
 
-	if err := run(*dsName, *scale, *model, *agg, *hidden, *heads, *fanoutsFlag,
-		*epochs, float32(*lr), *capacityMiB, *k, *partName, *devices, *adaptive, *seed); err != nil {
+	// metrics is the NDJSON output path ("" = no metrics file).
+	metrics string
+	// trace additionally records one span per pipeline phase in the
+	// metrics output.
+	trace bool
+	// ckpt is the model checkpoint path ("" = no checkpoint).
+	ckpt string
+
+	// hook, when non-nil, runs after every completed epoch; an error
+	// aborts training. Tests use it to exercise the flush-on-error path.
+	hook func(epoch int) error
+	// out receives the human-readable log (default os.Stdout).
+	out io.Writer
+}
+
+func main() {
+	var cfg runConfig
+	flag.StringVar(&cfg.dataset, "dataset", "ogbn-arxiv", "dataset: "+strings.Join(dataset.Names(), ", "))
+	flag.Float64Var(&cfg.scale, "scale", 0.2, "dataset scale in (0,1]")
+	flag.StringVar(&cfg.model, "model", "sage", "model: sage, gat, or gcn")
+	flag.StringVar(&cfg.agg, "agg", "mean", "SAGE aggregator: mean, sum, pool, lstm")
+	flag.IntVar(&cfg.hidden, "hidden", 64, "hidden width")
+	flag.IntVar(&cfg.heads, "heads", 4, "GAT attention heads")
+	flag.StringVar(&cfg.fanouts, "fanouts", "5,10", "per-layer fanouts, input-first (layers = count)")
+	flag.IntVar(&cfg.epochs, "epochs", 10, "training epochs")
+	lr := flag.Float64("lr", 0.01, "Adam learning rate")
+	flag.Int64Var(&cfg.capacityMiB, "capacity", 0, "simulated device capacity in MiB (0 = unbounded)")
+	flag.IntVar(&cfg.k, "k", 0, "fixed micro-batch count (0 = memory-aware planner)")
+	flag.StringVar(&cfg.partitioner, "partitioner", "betty", "batch partitioner: betty, metis, random, range")
+	flag.IntVar(&cfg.devices, "devices", 1, "number of simulated devices (data-parallel)")
+	flag.BoolVar(&cfg.adaptive, "adaptive", false, "learn a planner safety margin from measured peaks")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.StringVar(&cfg.metrics, "metrics", "", "write run metrics as NDJSON to this file (flushed on errors too)")
+	flag.BoolVar(&cfg.trace, "trace", false, "record per-phase spans in the -metrics output")
+	flag.StringVar(&cfg.ckpt, "checkpoint", "", "save the trained model to this file (also on errors)")
+	flag.Parse()
+	cfg.lr = float32(*lr)
+
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bettytrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dsName string, scale float64, model, agg string, hidden, heads int,
-	fanoutsFlag string, epochs int, lr float32, capacityMiB int64, k int,
-	partName string, devices int, adaptive bool, seed uint64) error {
-
-	fanouts, err := parseFanouts(fanoutsFlag)
+func run(cfg runConfig) (err error) {
+	if cfg.out == nil {
+		cfg.out = os.Stdout
+	}
+	fanouts, err := parseFanouts(cfg.fanouts)
 	if err != nil {
 		return err
 	}
-	ds, err := dataset.LoadScaled(dsName, scale)
+	ds, err := dataset.LoadScaled(cfg.dataset, cfg.scale)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dataset %s: %d nodes, %d edges, %d classes, %d train nodes\n",
+	fmt.Fprintf(cfg.out, "dataset %s: %d nodes, %d edges, %d classes, %d train nodes\n",
 		ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), ds.NumClasses, len(ds.TrainIdx))
 
+	// The registry exists for the whole run and is flushed by a deferred
+	// write, so a mid-epoch failure (OOM, injected error) still leaves a
+	// readable NDJSON record of every phase executed before it.
+	var obsReg *obs.Registry
+	if cfg.metrics != "" || cfg.trace {
+		obsReg = obs.New(obs.RealClock())
+		obsReg.SetTracing(cfg.trace)
+	}
+	if cfg.metrics != "" {
+		defer func() {
+			if werr := obsReg.WriteFile(cfg.metrics); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+
 	opts := core.Options{
-		Hidden:  hidden,
-		Heads:   heads,
+		Hidden:  cfg.hidden,
+		Heads:   cfg.heads,
 		Fanouts: fanouts,
-		LR:      lr,
-		Seed:    seed,
-		FixedK:  k,
+		LR:      cfg.lr,
+		Seed:    cfg.seed,
+		FixedK:  cfg.k,
 	}
-	if capacityMiB > 0 {
-		opts.Device = device.New(capacityMiB*device.MiB, device.DefaultCostModel())
+	if cfg.capacityMiB > 0 {
+		opts.Device = device.New(cfg.capacityMiB*device.MiB, device.DefaultCostModel())
 	}
-	switch partName {
+	switch cfg.partitioner {
 	case "betty":
 	case "metis":
-		opts.Partitioner = reg.MetisBatch{Seed: seed}
+		opts.Partitioner = reg.MetisBatch{Seed: cfg.seed}
 	case "random":
-		opts.Partitioner = reg.RandomBatch{Seed: seed}
+		opts.Partitioner = reg.RandomBatch{Seed: cfg.seed}
 	case "range":
 		opts.Partitioner = reg.RangeBatch{}
 	default:
-		return fmt.Errorf("unknown partitioner %q", partName)
+		return fmt.Errorf("unknown partitioner %q", cfg.partitioner)
 	}
 
 	var setup *core.Setup
-	switch model {
+	switch cfg.model {
 	case "sage":
-		a, err := nn.ParseAggregator(agg)
+		a, err := nn.ParseAggregator(cfg.agg)
 		if err != nil {
 			return err
 		}
@@ -114,18 +176,35 @@ func run(dsName string, scale float64, model, agg string, hidden, heads int,
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown model %q (sage, gat, or gcn)", model)
+		return fmt.Errorf("unknown model %q (sage, gat, or gcn)", cfg.model)
 	}
-	if adaptive {
+	setup.Engine.SetObs(obsReg)
+	if cfg.adaptive {
 		setup.Engine.Tracker = memory.NewErrorTracker()
 	}
 
+	// Like the metrics flush, the checkpoint is written by a deferred save:
+	// a failed run keeps the weights of its completed epochs.
+	completed := 0
+	if cfg.ckpt != "" {
+		defer func() {
+			meta := map[string]string{
+				"model":            cfg.model,
+				"dataset":          ds.Name,
+				"completed_epochs": strconv.Itoa(completed),
+			}
+			if serr := checkpoint.SaveFile(cfg.ckpt, setup.Model, meta); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+	}
+
 	var multi *core.MultiDevice
-	if devices > 1 {
-		devs := make([]*device.Device, devices)
+	if cfg.devices > 1 {
+		devs := make([]*device.Device, cfg.devices)
 		capBytes := int64(64) * device.GiB
-		if capacityMiB > 0 {
-			capBytes = capacityMiB * device.MiB
+		if cfg.capacityMiB > 0 {
+			capBytes = cfg.capacityMiB * device.MiB
 		}
 		for i := range devs {
 			devs[i] = device.New(capBytes, device.DefaultCostModel())
@@ -133,9 +212,9 @@ func run(dsName string, scale float64, model, agg string, hidden, heads int,
 		multi = &core.MultiDevice{Engine: setup.Engine, Devices: devs}
 	}
 
-	fmt.Printf("%-6s %-4s %-9s %-9s %-11s %-12s %s\n",
+	fmt.Fprintf(cfg.out, "%-6s %-4s %-9s %-9s %-11s %-12s %s\n",
 		"epoch", "K", "loss", "train acc", "peak MiB", "epoch sim s", "redundancy")
-	for e := 1; e <= epochs; e++ {
+	for e := 1; e <= cfg.epochs; e++ {
 		var (
 			st  core.EpochStats
 			sim float64
@@ -154,8 +233,14 @@ func run(dsName string, scale float64, model, agg string, hidden, heads int,
 			}
 			sim = st.ComputeSeconds + st.TransferSeconds
 		}
-		fmt.Printf("%-6d %-4d %-9.4f %-9.4f %-11.2f %-12.5f %d\n",
+		fmt.Fprintf(cfg.out, "%-6d %-4d %-9.4f %-9.4f %-11.2f %-12.5f %d\n",
 			e, st.K, st.Loss, st.TrainAcc, float64(st.PeakBytes)/(1<<20), sim, st.Redundancy)
+		completed = e
+		if cfg.hook != nil {
+			if herr := cfg.hook(e); herr != nil {
+				return fmt.Errorf("epoch %d: %w", e, herr)
+			}
+		}
 	}
 
 	val, err := setup.Engine.ValAccuracy()
@@ -166,7 +251,10 @@ func run(dsName string, scale float64, model, agg string, hidden, heads int,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nvalidation accuracy %.4f, test accuracy %.4f\n", val, test)
+	fmt.Fprintf(cfg.out, "\nvalidation accuracy %.4f, test accuracy %.4f\n", val, test)
+	if tr := setup.Engine.Tracker; tr != nil && tr.Observations() {
+		fmt.Fprintf(cfg.out, "planner safety margin %.4f (measured-vs-estimated feedback)\n", tr.Margin())
+	}
 	return nil
 }
 

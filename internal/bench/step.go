@@ -9,6 +9,7 @@ import (
 	"betty/internal/dataset"
 	"betty/internal/graph"
 	"betty/internal/nn"
+	"betty/internal/obs"
 	"betty/internal/parallel"
 	"betty/internal/rng"
 	"betty/internal/sample"
@@ -57,6 +58,11 @@ type StepBenchReport struct {
 	// ByteReduction is bytes/step unpooled over pooled (workers=1) — the
 	// GC-pressure reduction from recycling the tape arena.
 	ByteReduction float64 `json:"byte_reduction"`
+	// ObsRecords is the NDJSON export of one fully instrumented step
+	// (spans + counters + histograms), embedded one record per element so
+	// the step baseline carries the same observability schema as
+	// bettytrain -metrics (DESIGN.md §10).
+	ObsRecords []json.RawMessage `json:"obs_records,omitempty"`
 }
 
 // stepWorkload builds the fixed micro-batch the sweep measures.
@@ -158,6 +164,19 @@ func RunStepBench(scale float64) (*StepBenchReport, error) {
 		if b.BytesPerStep > 0 {
 			rep.ByteReduction = float64(a.BytesPerStep) / float64(b.BytesPerStep)
 		}
+	}
+
+	// One fully instrumented step (untimed, outside the sweep cells) whose
+	// span/metric records are embedded verbatim in the report.
+	obsReg := obs.New(obs.RealClock())
+	obsReg.SetTracing(true)
+	runner.Obs = obsReg
+	if err := step(); err != nil {
+		return nil, err
+	}
+	runner.Obs = nil
+	for _, line := range obsReg.Records() {
+		rep.ObsRecords = append(rep.ObsRecords, json.RawMessage(line))
 	}
 	return rep, nil
 }

@@ -25,6 +25,7 @@ import (
 	"betty/internal/graph"
 	"betty/internal/memory"
 	"betty/internal/nn"
+	"betty/internal/obs"
 	"betty/internal/reg"
 	"betty/internal/sample"
 	"betty/internal/train"
@@ -43,10 +44,32 @@ type Engine struct {
 	SafetyMargin float64
 	// MaxK caps the planner's search.
 	MaxK int
-	// Tracker, when set, feeds each epoch's estimated-vs-measured peak
-	// back into the planner's safety margin (the §6.7 feedback loop).
+	// Tracker, when set, feeds each micro-batch's estimated-vs-measured
+	// peak back into the planner's safety margin (the §6.7 feedback loop).
 	// Requires a device to measure against.
 	Tracker *memory.ErrorTracker
+	// Obs, when non-nil, receives spans and metrics from the engine, the
+	// planner it builds, and — when installed with SetObs — the runner,
+	// sampler, and REG partitioner too.
+	Obs *obs.Registry
+}
+
+// SetObs installs one registry on the engine and every collaborator it
+// owns: the runner (h2d/forward/backward/step/eval spans), the sampler
+// (sample spans), the planner built per epoch (partition/estimate spans),
+// and — when the partitioner is the REG one — its reg_build span.
+func (e *Engine) SetObs(r *obs.Registry) {
+	e.Obs = r
+	if e.Runner != nil {
+		e.Runner.Obs = r
+	}
+	if e.Sampler != nil {
+		e.Sampler.Obs = r
+	}
+	if bb, ok := e.Partitioner.(reg.BettyBatch); ok {
+		bb.Obs = r
+		e.Partitioner = bb
+	}
 }
 
 // New assembles an engine with Betty's defaults (REG partitioning,
@@ -116,6 +139,7 @@ func (e *Engine) PlanEpoch(seeds []int32) ([]*graph.Block, *memory.Plan, error) 
 		Spec:         e.Spec,
 		MaxK:         e.MaxK,
 		SafetyMargin: margin,
+		Obs:          e.Obs,
 	}
 	var plan *memory.Plan
 	if e.FixedK > 0 {
@@ -150,12 +174,16 @@ func (e *Engine) TrainEpochMicroSeeds(seeds []int32) (EpochStats, error) {
 	st.InputNodes = graph.TotalInputNodes(plan.Micro)
 	st.HostBytes = e.Runner.Data.HostBytes()
 
-	if e.Runner.Dev != nil {
-		e.Runner.Dev.ResetPeak()
-	}
 	totalOut := len(seeds)
 	labeled := 0
-	for _, micro := range plan.Micro {
+	for i, micro := range plan.Micro {
+		// Reset the peak tracker per micro-batch: transient buffers are
+		// freed between micro-batches, so the epoch peak is the max of the
+		// per-micro peaks — unchanged — while each measurement now lines
+		// up with its own estimate for the tracker's feedback loop.
+		if e.Runner.Dev != nil {
+			e.Runner.Dev.ResetPeak()
+		}
 		outs := micro[len(micro)-1].NumDst
 		scale := float32(outs) / float32(totalOut)
 		res, err := e.Runner.RunMicroBatch(micro, scale)
@@ -170,6 +198,11 @@ func (e *Engine) TrainEpochMicroSeeds(seeds []int32) (EpochStats, error) {
 		if res.PeakBytes > st.PeakBytes {
 			st.PeakBytes = res.PeakBytes
 		}
+		est := plan.Estimates[i].Peak()
+		e.Obs.Observe("micro.est_peak_bytes", est)
+		if e.Tracker != nil && res.PeakBytes > 0 {
+			e.Tracker.Observe(est, res.PeakBytes)
+		}
 	}
 	// Accuracy is over labeled outputs only: res.Count excludes masked
 	// seeds, so dividing by the seed count would deflate TrainAcc whenever
@@ -180,8 +213,14 @@ func (e *Engine) TrainEpochMicroSeeds(seeds []int32) (EpochStats, error) {
 		st.TrainAcc = 0
 	}
 	e.Runner.Step()
-	if e.Tracker != nil && st.PeakBytes > 0 {
-		e.Tracker.Observe(st.MaxEstimate, st.PeakBytes)
+	e.Obs.Add("epoch.count", 1)
+	e.Obs.Set("epoch.k", int64(st.K))
+	e.Obs.Set("epoch.peak_bytes", st.PeakBytes)
+	e.Obs.Set("epoch.est_peak_bytes", st.MaxEstimate)
+	if e.Tracker != nil {
+		// Margin is a small fraction; gauges are integers, so expose it in
+		// parts per million.
+		e.Obs.Set("plan.margin_ppm", int64(e.Tracker.Margin()*1e6))
 	}
 	return st, nil
 }

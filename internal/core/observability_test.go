@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"betty/internal/device"
+	"betty/internal/obs"
+)
+
+// obsSetup builds a capacity-constrained engine with a fake-clock registry
+// attached, so epochs are fully instrumented and deterministic.
+func obsSetup(t *testing.T, trace bool) (*Setup, *obs.Registry) {
+	t.Helper()
+	d := testData(t)
+	dev := device.New(device.GiB, device.DefaultCostModel())
+	s, err := BuildSAGE(d, Options{Seed: 60, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 2, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.New(obs.NewFakeClock(0, 1000))
+	r.SetTracing(trace)
+	s.Engine.SetObs(r)
+	return s, r
+}
+
+// One instrumented epoch must produce a span for every pipeline phase of
+// every micro-batch, and the metric side must agree with the epoch stats.
+func TestInstrumentedEpochEmitsEveryPhase(t *testing.T) {
+	s, r := obsSetup(t, true)
+	st, err := s.Engine.TrainEpochMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perPhase := make(map[string]int)
+	for _, sp := range r.Spans() {
+		perPhase[sp.Phase]++
+	}
+	// Phases once per epoch: sample, partition, estimate (the reg_build
+	// span nests inside the partitioner call), step. Phases per micro-batch:
+	// h2d, forward, backward.
+	for _, ph := range []string{obs.PhaseSample, obs.PhaseRegBuild, obs.PhasePartition, obs.PhaseEstimate} {
+		if perPhase[ph] < 1 {
+			t.Errorf("no %q span recorded (got %v)", ph, perPhase)
+		}
+	}
+	for _, ph := range []string{obs.PhaseH2D, obs.PhaseForward, obs.PhaseBackward} {
+		if perPhase[ph] != st.K {
+			t.Errorf("%q spans = %d, want one per micro-batch (K=%d)", ph, perPhase[ph], st.K)
+		}
+	}
+	if perPhase[obs.PhaseStep] != 1 {
+		t.Errorf("step spans = %d, want 1", perPhase[obs.PhaseStep])
+	}
+
+	if got := r.CounterValue("train.micro_batches"); got != int64(st.K) {
+		t.Errorf("train.micro_batches = %d, want %d", got, st.K)
+	}
+	if got := r.CounterValue("train.steps"); got != 1 {
+		t.Errorf("train.steps = %d", got)
+	}
+	if got := r.CounterValue("epoch.count"); got != 1 {
+		t.Errorf("epoch.count = %d", got)
+	}
+	if k, ok := r.GaugeValue("epoch.k"); !ok || k != int64(st.K) {
+		t.Errorf("epoch.k = %d,%v, want %d", k, ok, st.K)
+	}
+	if pk, ok := r.GaugeValue("epoch.peak_bytes"); !ok || pk != st.PeakBytes {
+		t.Errorf("epoch.peak_bytes = %d,%v, want %d", pk, ok, st.PeakBytes)
+	}
+	if est, ok := r.GaugeValue("epoch.est_peak_bytes"); !ok || est != st.MaxEstimate {
+		t.Errorf("epoch.est_peak_bytes = %d,%v, want %d", est, ok, st.MaxEstimate)
+	}
+	// Estimated and measured peaks were recorded per micro-batch.
+	for _, name := range []string{"micro.est_peak_bytes", "micro.peak_bytes"} {
+		if h := r.HistogramWith(name, nil); h.Count() != int64(st.K) {
+			t.Errorf("%s observations = %d, want %d", name, h.Count(), st.K)
+		}
+	}
+	if got := r.CounterValue("plan.attempts"); got < 1 {
+		t.Errorf("plan.attempts = %d", got)
+	}
+	if k, ok := r.GaugeValue("plan.k"); !ok || k != int64(st.K) {
+		t.Errorf("plan.k = %d,%v, want %d", k, ok, st.K)
+	}
+}
+
+// The fake clock makes span timings a pure function of the call sequence:
+// two identically-built instrumented epochs export identical bytes.
+func TestInstrumentedEpochDeterministic(t *testing.T) {
+	run := func() []string {
+		s, r := obsSetup(t, true)
+		if _, err := s.Engine.TrainEpochMicro(); err != nil {
+			t.Fatal(err)
+		}
+		return r.Records()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTrackerMarginConvergesOverRun is the §6.7 feedback loop end-to-end:
+// an instrumented 3-epoch run feeds each micro-batch's measured peak into
+// the ErrorTracker, whose margin must settle (each epoch moves it no more
+// than the one before) and be exported via the plan.margin_ppm gauge.
+func TestTrackerMarginConvergesOverRun(t *testing.T) {
+	s, r := obsSetup(t, false)
+	tr := memoryTracker()
+	s.Engine.Tracker = tr
+
+	margins := []float64{tr.Margin()}
+	for epoch := 0; epoch < 3; epoch++ {
+		if _, err := s.Engine.TrainEpochMicro(); err != nil {
+			t.Fatal(err)
+		}
+		margins = append(margins, tr.Margin())
+	}
+	if !tr.Observations() {
+		t.Fatal("tracker saw no observations")
+	}
+	for i, m := range margins[1:] {
+		if m < 0 || m > 1 {
+			t.Fatalf("margin after epoch %d = %v out of range", i+1, m)
+		}
+	}
+	// EMA contraction: the margin's movement shrinks epoch over epoch
+	// (identically seeded epochs repeat the same workload).
+	d1 := math.Abs(margins[2] - margins[1])
+	d2 := math.Abs(margins[3] - margins[2])
+	if d2 > d1+1e-9 {
+		t.Fatalf("margin diverging: moves %v then %v (margins %v)", d1, d2, margins)
+	}
+	ppm, ok := r.GaugeValue("plan.margin_ppm")
+	if !ok {
+		t.Fatal("plan.margin_ppm gauge not exported")
+	}
+	if want := int64(margins[3] * 1e6); ppm != want {
+		t.Fatalf("plan.margin_ppm = %d, want %d", ppm, want)
+	}
+}
+
+// Detaching the registry must stop all recording (the SetObs(nil) path the
+// CLIs rely on when -metrics is absent).
+func TestSetObsNilDisables(t *testing.T) {
+	s, r := obsSetup(t, true)
+	s.Engine.SetObs(nil)
+	if _, err := s.Engine.TrainEpochMicro(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Spans()) != 0 {
+		t.Fatalf("detached registry recorded %d spans", len(r.Spans()))
+	}
+	if got := r.CounterValue("train.steps"); got != 0 {
+		t.Fatalf("detached registry counted %d steps", got)
+	}
+}

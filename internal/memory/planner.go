@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"betty/internal/graph"
+	"betty/internal/obs"
 	"betty/internal/reg"
 )
 
@@ -31,6 +32,9 @@ type Planner struct {
 	// estimation error (§6.7 discusses folding the error into planning);
 	// 0 means no margin.
 	SafetyMargin float64
+	// Obs, when non-nil, receives partition/estimate spans per evaluated K
+	// plus planning metrics (plan.attempts, plan.repartitions, plan.k).
+	Obs *obs.Registry
 }
 
 // Plan is the planner's result: the chosen partition count, the output
@@ -75,6 +79,7 @@ func (pl *Planner) Plan(full []*graph.Block) (*Plan, error) {
 	attempts := 0
 	for k := startK; k <= maxK; k++ {
 		attempts++
+		pl.Obs.Add("plan.attempts", 1)
 		plan, err := pl.evaluate(full, k)
 		if err != nil {
 			return nil, err
@@ -82,6 +87,9 @@ func (pl *Planner) Plan(full []*graph.Block) (*Plan, error) {
 		plan.Attempts = attempts
 		margin := int64(float64(plan.MaxPeak) * pl.SafetyMargin)
 		if plan.MaxPeak+margin <= pl.Capacity {
+			pl.Obs.Add("plan.repartitions", int64(attempts-1))
+			pl.Obs.Set("plan.k", int64(plan.K))
+			pl.Obs.Set("plan.max_peak_bytes", plan.MaxPeak)
 			return plan, nil
 		}
 	}
@@ -92,21 +100,15 @@ func (pl *Planner) Plan(full []*graph.Block) (*Plan, error) {
 // evaluate partitions into exactly k micro-batches and estimates each.
 func (pl *Planner) evaluate(full []*graph.Block, k int) (*Plan, error) {
 	last := full[len(full)-1]
-	var groups [][]int32
-	if k == 1 {
-		all := make([]int32, last.NumDst)
-		for i := range all {
-			all[i] = int32(i)
-		}
-		groups = [][]int32{all}
-	} else {
-		var err error
-		groups, err = pl.Partitioner.PartitionBatch(last, k)
-		if err != nil {
-			return nil, fmt.Errorf("memory: partitioning K=%d: %w", k, err)
-		}
+	groups, err := pl.partitionGroups(last, k)
+	if err != nil {
+		return nil, err
 	}
 	plan := &Plan{K: k, Groups: groups}
+	// The estimate span covers slicing plus estimation of all K
+	// micro-batches — the full cost of evaluating one candidate K.
+	esp := pl.Obs.StartSpan(obs.PhaseEstimate).SetInt("k", int64(k))
+	defer esp.End()
 	for gi, sel := range groups {
 		micro, err := graph.SliceBatch(full, sel)
 		if err != nil {
@@ -122,7 +124,29 @@ func (pl *Planner) evaluate(full []*graph.Block, k int) (*Plan, error) {
 			plan.MaxPeak = p
 		}
 	}
+	esp.SetInt("max_peak_bytes", plan.MaxPeak)
 	return plan, nil
+}
+
+// partitionGroups splits the last block's outputs into k groups under a
+// PhasePartition span (K = 1 needs no partitioner: one group of all).
+func (pl *Planner) partitionGroups(last *graph.Block, k int) ([][]int32, error) {
+	if k == 1 {
+		all := make([]int32, last.NumDst)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return [][]int32{all}, nil
+	}
+	sp := pl.Obs.StartSpan(obs.PhasePartition).
+		SetInt("k", int64(k)).
+		SetInt("outputs", int64(last.NumDst))
+	defer sp.End()
+	groups, err := pl.Partitioner.PartitionBatch(last, k)
+	if err != nil {
+		return nil, fmt.Errorf("memory: partitioning K=%d: %w", k, err)
+	}
+	return groups, nil
 }
 
 // EvaluateFixedK returns the plan for an explicit partition count without
@@ -134,10 +158,13 @@ func (pl *Planner) EvaluateFixedK(full []*graph.Block, k int) (*Plan, error) {
 	if len(full) == 0 {
 		return nil, fmt.Errorf("memory: empty batch")
 	}
+	pl.Obs.Add("plan.attempts", 1)
 	plan, err := pl.evaluate(full, k)
 	if err != nil {
 		return nil, err
 	}
 	plan.Attempts = 1
+	pl.Obs.Set("plan.k", int64(plan.K))
+	pl.Obs.Set("plan.max_peak_bytes", plan.MaxPeak)
 	return plan, nil
 }

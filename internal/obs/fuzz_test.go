@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzHistogramBuckets feeds arbitrary bound sets and observation streams
+// through a histogram and asserts its two invariants: sanitized bounds are
+// strictly increasing, and every observation lands in exactly one bucket
+// (count conservation).
+func FuzzHistogramBuckets(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0}, []byte{5})
+	f.Add([]byte{}, []byte{0, 1, 2, 3})
+	f.Add([]byte{10, 0, 0, 0, 0, 0, 0, 0, 10, 0, 0, 0, 0, 0, 0, 0}, []byte{9, 10, 11})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255}, []byte{255})
+	f.Fuzz(func(t *testing.T, boundBytes, valBytes []byte) {
+		var bounds []int64
+		for i := 0; i+8 <= len(boundBytes) && len(bounds) < 64; i += 8 {
+			bounds = append(bounds, int64(binary.LittleEndian.Uint64(boundBytes[i:])))
+		}
+		h := NewHistogram(bounds)
+
+		got := h.Bounds()
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("bounds not strictly increasing: %v", got)
+			}
+		}
+		if len(h.Counts()) != len(got)+1 {
+			t.Fatalf("bucket count %d for %d bounds", len(h.Counts()), len(got))
+		}
+
+		var sum int64
+		n := len(valBytes)
+		if n > 256 {
+			n = 256
+		}
+		for i := 0; i < n; i++ {
+			// Spread raw bytes over a wide signed range so both bucket
+			// boundaries and the overflow bucket get exercised.
+			v := (int64(valBytes[i]) - 128) << (uint(i) % 48)
+			h.Observe(v)
+			sum += v
+		}
+		if h.Count() != int64(n) {
+			t.Fatalf("Count = %d, want %d", h.Count(), n)
+		}
+		if h.Sum() != sum {
+			t.Fatalf("Sum = %d, want %d", h.Sum(), sum)
+		}
+		var total int64
+		for _, c := range h.Counts() {
+			if c < 0 {
+				t.Fatalf("negative bucket count: %v", h.Counts())
+			}
+			total += c
+		}
+		if total != int64(n) {
+			t.Fatalf("buckets sum to %d, observed %d", total, n)
+		}
+
+		// Re-observing the sanitized bounds themselves lands each in its
+		// own (upper-inclusive) bucket.
+		h2 := NewHistogram(got)
+		for _, b := range got {
+			h2.Observe(b)
+		}
+		for i, c := range h2.Counts() {
+			want := int64(1)
+			if i == len(got) { // overflow bucket stays empty
+				want = 0
+			}
+			if c != want {
+				t.Fatalf("bound self-observation counts = %v", h2.Counts())
+			}
+		}
+	})
+}

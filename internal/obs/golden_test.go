@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"betty/internal/parallel"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenScript drives a registry through a fixed instrumentation sequence:
+// a serial span script mimicking one training step, plus counter and
+// histogram updates issued from inside parallel.For so the export also
+// covers the concurrent path.
+func goldenScript(r *Registry) {
+	r.StartSpan(PhaseSample).SetInt("seeds", 64).SetInt("layers", 2).End()
+	r.StartSpan(PhaseRegBuild).SetInt("outputs", 64).SetInt("edges", 480).End()
+	r.StartSpan(PhasePartition).SetInt("k", 4).SetInt("outputs", 64).End()
+	r.StartSpan(PhaseEstimate).SetInt("k", 4).SetInt("max_peak_bytes", 1<<20).End()
+	for i := 0; i < 4; i++ {
+		r.StartSpan(PhaseForward).SetInt("input_nodes", 300).SetInt("outputs", 16).End()
+		r.StartSpan(PhaseBackward).SetInt("input_nodes", 300).End()
+		r.Add("train.micro_batches", 1)
+		r.Observe("micro.peak_bytes", int64(1<<19+i*1024))
+	}
+	r.StartSpan(PhaseStep).End()
+	r.Add("train.steps", 1)
+	r.Set("plan.k", 4)
+	// Concurrent updates: 256 items, one counter increment and one
+	// histogram observation each. All state is commutative, so the export
+	// is byte-identical at any worker count.
+	parallel.For(256, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r.Add("par.items", 1)
+			r.Observe("par.value", int64(i%13))
+		}
+	})
+}
+
+// TestGoldenNDJSON locks the export bytes under the fake clock, and proves
+// they are independent of the parallelism level.
+func TestGoldenNDJSON(t *testing.T) {
+	runAt := func(workers int) string {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		r := New(NewFakeClock(0, 1000))
+		r.SetTracing(true)
+		goldenScript(r)
+		return strings.Join(r.Records(), "\n") + "\n"
+	}
+	got1 := runAt(1)
+	got8 := runAt(8)
+	if got1 != got8 {
+		t.Fatal("export differs between 1 and 8 workers")
+	}
+
+	path := filepath.Join("testdata", "golden.ndjson")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got1 != string(want) {
+		t.Errorf("export drifted from golden file (run with -update to regenerate)\ngot:\n%s\nwant:\n%s", got1, want)
+	}
+}
+
+// WriteNDJSON and WriteFile produce the same bytes as Records.
+func TestWriteFileMatchesRecords(t *testing.T) {
+	r := New(NewFakeClock(0, 1000))
+	r.SetTracing(true)
+	goldenScript(r)
+	path := filepath.Join(t.TempDir(), "out.ndjson")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strings.Join(r.Records(), "\n") + "\n"; string(data) != want {
+		t.Fatal("WriteFile bytes differ from Records")
+	}
+}

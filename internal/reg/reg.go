@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"betty/internal/graph"
+	"betty/internal/obs"
 	"betty/internal/partition"
 	"betty/internal/rng"
 	"betty/internal/sparse"
@@ -201,6 +202,10 @@ type BettyBatch struct {
 	Imbalance float64
 	// Reference selects the literal AᵀA SpGEMM construction.
 	Reference bool
+	// Obs, when non-nil, receives one PhaseRegBuild span per REG
+	// construction. Timing comes from the registry's injected Clock —
+	// this kernel package never reads a clock itself (bettyvet detrand).
+	Obs *obs.Registry
 }
 
 // Name implements BatchPartitioner.
@@ -215,7 +220,11 @@ func (p BettyBatch) PartitionBatch(last *graph.Block, k int) ([][]int32, error) 
 	if p.Reference {
 		build = BuildREG
 	}
+	sp := p.Obs.StartSpan(obs.PhaseRegBuild).
+		SetInt("outputs", int64(last.NumDst)).
+		SetInt("edges", int64(last.NumEdges()))
 	g, err := build(last)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"betty/internal/graph"
+	"betty/internal/obs"
 	"betty/internal/rng"
 )
 
@@ -27,6 +28,13 @@ type Sampler struct {
 	fanouts []int
 	replace bool
 	seed    uint64
+
+	// Obs, when non-nil, receives one PhaseSample span per Sample call.
+	// The sampler never reads a clock itself (this package is a kernel
+	// package, so bettyvet's detrand forbids it); timing comes entirely
+	// from the registry's injected Clock, keeping Sample's outputs a pure
+	// function of (graph, seeds, config).
+	Obs *obs.Registry
 }
 
 // New returns a sampler with the given input-first fanouts and RNG seed.
@@ -61,6 +69,10 @@ func (s *Sampler) Sample(g *graph.Graph, seeds []int32) ([]*graph.Block, error) 
 			return nil, fmt.Errorf("sample: seed %d out of range", v)
 		}
 	}
+	sp := s.Obs.StartSpan(obs.PhaseSample).
+		SetInt("seeds", int64(len(seeds))).
+		SetInt("layers", int64(len(s.fanouts)))
+	defer sp.End()
 	blocks := make([]*graph.Block, len(s.fanouts))
 	frontier := append([]int32(nil), seeds...)
 	for l := len(s.fanouts) - 1; l >= 0; l-- {
@@ -68,6 +80,7 @@ func (s *Sampler) Sample(g *graph.Graph, seeds []int32) ([]*graph.Block, error) 
 		blocks[l] = b
 		frontier = b.SrcNID
 	}
+	sp.SetInt("input_nodes", int64(len(frontier)))
 	return blocks, nil
 }
 

@@ -1,0 +1,70 @@
+package train
+
+import (
+	"testing"
+
+	"betty/internal/dataset"
+	"betty/internal/graph"
+	"betty/internal/nn"
+	"betty/internal/obs"
+	"betty/internal/rng"
+	"betty/internal/sample"
+)
+
+// benchWorkload builds a fixed micro-batch step for the obs-overhead
+// benchmark (mirrors testRunner/testData, which need a *testing.T).
+func benchWorkload(b *testing.B) (*Runner, []*graph.Block) {
+	b.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name: "t", Nodes: 600, AvgDegree: 8, FeatureDim: 16,
+		NumClasses: 4, Homophily: 0.8, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := nn.NewGraphSAGE(nn.Config{
+		InDim: d.FeatureDim(), Hidden: 16, OutDim: d.NumClasses,
+		Layers: 2, Aggregator: nn.Mean,
+	}, rng.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRunner(model, d, nn.NewAdam(model, 0.01), nil)
+	blocks, err := sample.New([]int{5, 5}, 1).Sample(d.Graph, d.TrainIdx[:64])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, blocks
+}
+
+// BenchmarkMicroBatchObs quantifies the instrumentation cost of one
+// RunMicroBatch+Step across the three observability states. The acceptance
+// bar for this PR is "disabled" (nil registry) within 2% of the
+// uninstrumented step time — a nil registry costs one pointer test per
+// site, so the three sub-benchmark times should be indistinguishable from
+// each other up to measurement noise.
+func BenchmarkMicroBatchObs(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		reg   func() *obs.Registry
+		trace bool
+	}{
+		{name: "disabled", reg: func() *obs.Registry { return nil }},
+		{name: "metrics", reg: func() *obs.Registry { return obs.New(obs.RealClock()) }},
+		{name: "trace", reg: func() *obs.Registry { return obs.New(obs.RealClock()) }, trace: true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			r, blocks := benchWorkload(b)
+			r.Obs = cfg.reg()
+			r.Obs.SetTracing(cfg.trace)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.RunMicroBatch(blocks, 1); err != nil {
+					b.Fatal(err)
+				}
+				r.Step()
+			}
+		})
+	}
+}

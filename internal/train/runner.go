@@ -13,6 +13,7 @@ import (
 	"betty/internal/device"
 	"betty/internal/graph"
 	"betty/internal/nn"
+	"betty/internal/obs"
 	"betty/internal/parallel"
 	"betty/internal/tensor"
 )
@@ -54,6 +55,11 @@ type Runner struct {
 	// Dev, when non-nil, enforces the memory capacity and accumulates
 	// simulated time. Training without a device skips all accounting.
 	Dev *device.Device
+
+	// Obs, when non-nil, receives per-phase spans (h2d, forward, backward,
+	// step, eval) and per-micro-batch metrics. A nil registry costs one
+	// pointer test per instrumentation point (see BenchmarkMicroBatchObs).
+	Obs *obs.Registry
 
 	resident []*device.Buffer
 
@@ -179,18 +185,25 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 	}
 	if r.Dev != nil {
 		stats := graph.Stats(blocks)
-		if err := charge(int64(x.Len())*4, "input-features", true); err != nil {
+		hsp := r.Obs.StartSpan(obs.PhaseH2D).
+			SetInt("input_nodes", int64(stats.NumInput)).
+			SetInt("edges", int64(stats.TotalEdges))
+		oom := func(err error) (StepResult, error) {
+			hsp.End()
+			r.Obs.Add("train.oom", 1)
 			free()
 			return res, err
+		}
+		if err := charge(int64(x.Len())*4, "input-features", true); err != nil {
+			return oom(err)
 		}
 		if err := charge(int64(len(labels))*4, "labels", true); err != nil {
-			free()
-			return res, err
+			return oom(err)
 		}
 		if err := charge(int64(stats.TotalEdges)*3*4, "blocks", true); err != nil {
-			free()
-			return res, err
+			return oom(err)
 		}
+		hsp.End()
 	}
 
 	// Forward + loss on the tape. Every intermediate tensor comes from the
@@ -198,8 +211,12 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 	// batch's results have been extracted — on success and on the OOM error
 	// path — so the next micro-batch reuses the same arena. Only leaf and
 	// parameter storage (including the accumulated gradients) outlives it.
+	fsp := r.Obs.StartSpan(obs.PhaseForward).
+		SetInt("input_nodes", int64(input.NumSrc)).
+		SetInt("outputs", int64(last.NumDst))
 	logits := r.Model.Forward(tp, blocks, tensor.Leaf(x))
 	loss := tp.SoftmaxCrossEntropy(logits, labels)
+	fsp.End()
 	res.Loss = float64(loss.Value.Data[0])
 	pred := tensor.Argmax(logits.Value)
 	for i, p := range pred {
@@ -214,6 +231,7 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 
 	// Device phase 2: charge activations and compute time, then backward.
 	if err := charge(res.ActivationBytes, "activations", false); err != nil {
+		r.Obs.Add("train.oom", 1)
 		free()
 		return res, fmt.Errorf("train: forward activations: %w", err)
 	}
@@ -222,17 +240,25 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 		res.ComputeSeconds += r.Dev.ComputeKernels(r.Model.Flops(blocks), 3*tp.NumOps())
 		res.PeakBytes = r.Dev.Peak()
 	}
+	bsp := r.Obs.StartSpan(obs.PhaseBackward).SetInt("outputs", int64(last.NumDst))
 	//bettyvet:ok floateq identity-scale fast path: scale is exactly 1 when no loss rescaling was requested
 	if scale != 1 {
 		loss = tp.Scale(loss, scale)
 	}
 	tp.Backward(loss)
+	bsp.End()
 	free()
+	r.Obs.Add("train.micro_batches", 1)
+	r.Obs.Observe("micro.activation_bytes", res.ActivationBytes)
+	if res.PeakBytes > 0 {
+		r.Obs.Observe("micro.peak_bytes", res.PeakBytes)
+	}
 	return res, nil
 }
 
 // Step applies the optimizer to the accumulated gradients and clears them.
 func (r *Runner) Step() {
+	sp := r.Obs.StartSpan(obs.PhaseStep)
 	r.Opt.Step()
 	if r.params == nil {
 		r.params = r.Model.Params()
@@ -240,6 +266,8 @@ func (r *Runner) Step() {
 	for _, p := range r.params {
 		p.ZeroGrad()
 	}
+	sp.End()
+	r.Obs.Add("train.steps", 1)
 }
 
 // sampler is the subset of sample.Sampler the evaluator needs; declared
@@ -265,6 +293,10 @@ func (r *Runner) Evaluate(s sampler, seeds []int32, chunkSize int) (float64, err
 		err            error
 	}
 	nChunks := (len(seeds) + chunkSize - 1) / chunkSize
+	sp := r.Obs.StartSpan(obs.PhaseEval).
+		SetInt("seeds", int64(len(seeds))).
+		SetInt("chunks", int64(nChunks))
+	defer sp.End()
 	results := make([]chunkResult, nChunks)
 	parallel.For(nChunks, 1, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
