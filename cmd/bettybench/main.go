@@ -7,6 +7,7 @@
 //	bettybench -exp fig12 [-scale 0.5] [-epochs 10] [-csv] [-v]
 //	bettybench -exp all
 //	bettybench -step BENCH_step.json [-scale 0.2]
+//	bettybench -serve BENCH_serve.json [-scale 0.2]
 package main
 
 import (
@@ -27,8 +28,24 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		verbose = flag.Bool("v", false, "log progress to stderr")
 		step    = flag.String("step", "", "write the training-step perf sweep (workers x pool) to this JSON file")
+		srv     = flag.String("serve", "", "write the online-serving load report to this JSON file")
 	)
 	flag.Parse()
+
+	if *srv != "" {
+		rep, err := bench.WriteServeBench(*srv, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bettybench: serve bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d requests x %d nodes: %.0f req/s   p50 %.2fms  p90 %.2fms  p99 %.2fms\n",
+			rep.Requests, rep.NodesPerRequest, rep.Load.ThroughputRPS,
+			float64(rep.Load.P50NS)/1e6, float64(rep.Load.P90NS)/1e6, float64(rep.Load.P99NS)/1e6)
+		fmt.Printf("batches: %d (%.1f req/batch)   cache hit rate: %.2f   max planned peak: %.1f MiB (budget %.0f MiB)\n",
+			rep.Batches, rep.AvgRequestsPerBatch, rep.CacheHitRate,
+			float64(rep.MaxEstPeakBytes)/(1<<20), float64(rep.CapacityBytes)/(1<<20))
+		return
+	}
 
 	if *step != "" {
 		rep, err := bench.WriteStepBench(*step, *scale)

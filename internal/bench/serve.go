@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"betty/internal/core"
+	"betty/internal/dataset"
+	"betty/internal/obs"
+	"betty/internal/serve"
+)
+
+// The serve benchmark measures the online inference path: an open-loop
+// seeded load run against a live server, reporting throughput, latency
+// percentiles, and how well the dynamic batcher and feature cache
+// amortized the work. Its output, BENCH_serve.json, is the serving
+// counterpart of BENCH_step.json.
+
+// ServeBenchReport is the schema of BENCH_serve.json.
+type ServeBenchReport struct {
+	// Dataset and Model describe the served workload.
+	Dataset string `json:"dataset"`
+	Model   string `json:"model"`
+	// Requests and NodesPerRequest describe the load trace.
+	Requests        int `json:"requests"`
+	NodesPerRequest int `json:"nodes_per_request"`
+	// Load is the measured throughput/latency report.
+	Load *serve.LoadReport `json:"load"`
+	// Batches is how many batches served the trace; AvgRequestsPerBatch
+	// is the coalescing factor the dynamic batcher achieved.
+	Batches             int64   `json:"batches"`
+	AvgRequestsPerBatch float64 `json:"avg_requests_per_batch"`
+	// CacheHitRate is hits / (hits + misses) of the feature cache.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// MaxEstPeakBytes is the largest planned micro-batch forward peak;
+	// CapacityBytes is the budget it stayed under.
+	MaxEstPeakBytes int64 `json:"max_est_peak_bytes"`
+	CapacityBytes   int64 `json:"capacity_bytes"`
+}
+
+// RunServeBench builds a server over the scaled ogbn-arxiv workload and
+// drives it with a seeded open-loop trace.
+func RunServeBench(scale float64) (*ServeBenchReport, error) {
+	ds, err := dataset.LoadScaled("ogbn-arxiv", scale)
+	if err != nil {
+		return nil, err
+	}
+	setup, err := core.BuildSAGE(ds, core.Options{Seed: 1, Hidden: 64, Fanouts: []int{5, 10}})
+	if err != nil {
+		return nil, err
+	}
+	cfg := serve.Defaults()
+	cfg.Fanouts = []int{5, 10}
+	cfg.Seed = 1
+	cfg.MaxWait = time.Millisecond
+	cfg.Obs = obs.New(nil)
+	s, err := serve.New(ds, setup.Model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Start()
+	defer s.Close()
+
+	lc := serve.LoadConfig{
+		Requests:        200,
+		NodesPerRequest: 8,
+		MeanGap:         200 * time.Microsecond,
+		Seed:            7,
+	}
+	load, err := serve.RunLoad(s, lc)
+	if err != nil {
+		return nil, err
+	}
+	if load.Errors > 0 {
+		return nil, fmt.Errorf("bench: %d of %d serve requests failed", load.Errors, load.Requests)
+	}
+	st := s.StatsSnapshot()
+	rep := &ServeBenchReport{
+		Dataset:         ds.Name,
+		Model:           "GraphSAGE-2L-Mean-h64",
+		Requests:        lc.Requests,
+		NodesPerRequest: lc.NodesPerRequest,
+		Load:            load,
+		Batches:         st.Batches,
+		MaxEstPeakBytes: st.MaxEstPeakBytes,
+		CapacityBytes:   cfg.CapacityBytes,
+	}
+	if st.Batches > 0 {
+		rep.AvgRequestsPerBatch = float64(st.BatchedRequests) / float64(st.Batches)
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		rep.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	return rep, nil
+}
+
+// WriteServeBench runs the load and writes the JSON report to path.
+func WriteServeBench(path string, scale float64) (*ServeBenchReport, error) {
+	rep, err := RunServeBench(scale)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return rep, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -42,6 +42,50 @@ func layerStack(model any) ([]BlockLayer, error) {
 	}
 }
 
+// applyLayer runs one GNN layer over one block, applying the inter-layer
+// ReLU when the layer is not the model's last. It is the single per-layer
+// forward step shared by whole-batch inference (BatchInference) and
+// layer-wise offline inference (LayerwiseInference).
+func applyLayer(tp *tensor.Tape, layer BlockLayer, b *graph.Block, h *tensor.Var, last bool) *tensor.Var {
+	out := layer.Forward(tp, b, h)
+	if !last {
+		out = tp.ReLU(out)
+	}
+	return out
+}
+
+// BatchInference runs one forward pass of model over an input-first block
+// list and returns the logits for the last block's destinations as a fresh
+// tensor (one row per destination, in DstNID order). No gradients are
+// recorded and all intermediates are recycled before returning.
+//
+// This is the one batch-forward implementation shared across the
+// repository: training (train.Runner.RunMicroBatch) and evaluation call
+// the same per-layer modules through Model.Forward, offline inference
+// (LayerwiseInference) applies them one layer at a time, and the online
+// serving path (internal/serve) calls BatchInference directly — the op
+// sequence is identical in all cases, so predictions are bitwise equal
+// across the three paths.
+func BatchInference(model any, blocks []*graph.Block, feats *tensor.Tensor) (*tensor.Tensor, error) {
+	layers, err := layerStack(model)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) != len(layers) {
+		return nil, fmt.Errorf("core: %d blocks for %d model layers", len(blocks), len(layers))
+	}
+	if feats.Rows() != blocks[0].NumSrc {
+		return nil, fmt.Errorf("core: feature rows %d != %d input nodes", feats.Rows(), blocks[0].NumSrc)
+	}
+	tp := tensor.NewTape()
+	defer tp.Release() // logits are cloned out below; recycle the arena
+	h := tensor.Leaf(feats)
+	for i, layer := range layers {
+		h = applyLayer(tp, layer, blocks[i], h, i == len(layers)-1)
+	}
+	return h.Value.Clone(), nil
+}
+
 // LayerwiseInference computes the model's outputs for every node of the
 // graph, one layer at a time in node chunks — the standard offline GNN
 // inference pattern (DGL's inference loop): instead of sampling a deep
@@ -85,10 +129,7 @@ func LayerwiseInference(model any, g *graph.Graph, feats *tensor.Tensor, chunk i
 				copy(h.Row(i), cur.Row(int(nid)))
 			}
 			tp := tensor.NewTape()
-			res := layer.Forward(tp, b, tensor.Leaf(h))
-			if li < len(layers)-1 {
-				res = tp.ReLU(res)
-			}
+			res := applyLayer(tp, layer, b, tensor.Leaf(h), li == len(layers)-1)
 			if out == nil {
 				out = tensor.New(n, res.Value.Cols())
 			}

@@ -64,6 +64,66 @@ func TestLayerwiseInferenceGCNAndGAT(t *testing.T) {
 	}
 }
 
+// BatchInference must be bitwise identical to the model's own Forward —
+// it is the shared forward implementation the serving path relies on.
+func TestBatchInferenceMatchesModelForward(t *testing.T) {
+	d := testData(t)
+	for name, build := range map[string]func() (*Setup, error){
+		"sage": func() (*Setup, error) { return BuildSAGE(d, Options{Seed: 40, Hidden: 16, Fanouts: []int{4, 6}}) },
+		"gcn":  func() (*Setup, error) { return BuildGCN(d, Options{Seed: 41, Hidden: 8, Fanouts: []int{4, 6}}) },
+		"gat": func() (*Setup, error) {
+			return BuildGAT(d, Options{Seed: 42, Hidden: 8, Heads: 2, Fanouts: []int{4, 6}})
+		},
+	} {
+		s, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks, err := s.Engine.Sampler.Sample(d.Graph, []int32{3, 8, 120, 700})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := d.GatherFeatures(blocks[0].SrcNID)
+		tp := tensor.NewTape()
+		want := s.Model.Forward(tp, blocks, tensor.Leaf(x))
+		got, err := BatchInference(s.Model, blocks, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rows() != want.Value.Rows() || got.Cols() != want.Value.Cols() {
+			t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows(), got.Cols(), want.Value.Rows(), want.Value.Cols())
+		}
+		for i := range got.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(want.Value.Data[i]) {
+				t.Fatalf("%s: logit %d differs: %v vs %v", name, i, got.Data[i], want.Value.Data[i])
+			}
+		}
+		tp.Release()
+	}
+}
+
+func TestBatchInferenceErrors(t *testing.T) {
+	d := testData(t)
+	s, err := BuildSAGE(d, Options{Seed: 43, Hidden: 8, Fanouts: []int{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := s.Engine.Sampler.Sample(d.Graph, []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := d.GatherFeatures(blocks[0].SrcNID)
+	if _, err := BatchInference(struct{}{}, blocks, x); err == nil {
+		t.Fatal("unsupported model accepted")
+	}
+	if _, err := BatchInference(s.Model, blocks[:1], x); err == nil {
+		t.Fatal("block/layer count mismatch accepted")
+	}
+	if _, err := BatchInference(s.Model, blocks, tensor.New(1, d.FeatureDim())); err == nil {
+		t.Fatal("feature row mismatch accepted")
+	}
+}
+
 func TestLayerwiseInferenceErrors(t *testing.T) {
 	d := testData(t)
 	if _, err := LayerwiseInference(struct{}{}, d.Graph, d.Features, 0); err == nil {

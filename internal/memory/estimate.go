@@ -65,6 +65,39 @@ func SpecFromGCN(m *nn.GCN, opt nn.Optimizer) Spec {
 	}
 }
 
+// SpecForInference derives a forward-only Spec from a constructed model of
+// any supported architecture: no optimizer is attached, so the estimate
+// carries no optimizer-state term. Combine with Planner.Peak =
+// Breakdown.ForwardPeak so the serving planner budgets only what a forward
+// pass materializes.
+func SpecForInference(model any) (Spec, error) {
+	switch m := model.(type) {
+	case *nn.GraphSAGE:
+		agg := m.AggParamCount()
+		return Spec{
+			Model:     m.Config(),
+			ParamsGNN: nn.ParamCount(m) - agg,
+			ParamsAgg: agg,
+		}, nil
+	case *nn.GCN:
+		return Spec{
+			Model:     m.Config(),
+			ParamsGNN: nn.ParamCount(m),
+			IsGCN:     true,
+		}, nil
+	case *nn.GAT:
+		agg := m.AggParamCount()
+		return Spec{
+			Model:     m.Config(),
+			ParamsGNN: nn.ParamCount(m) - agg,
+			ParamsAgg: agg,
+			IsGAT:     true,
+		}, nil
+	default:
+		return Spec{}, fmt.Errorf("memory: no inference spec for model %T", model)
+	}
+}
+
 // SpecFromGAT derives a Spec from a constructed GAT model.
 func SpecFromGAT(m *nn.GAT, opt nn.Optimizer) Spec {
 	agg := m.AggParamCount()
@@ -99,6 +132,15 @@ func (b Breakdown) Peak() int64 {
 		transient = b.Gradients
 	}
 	return b.stable() + transient
+}
+
+// ForwardPeak returns the estimated peak bytes of a forward-only pass —
+// the inference-serving budget. No gradients or optimizer states exist,
+// and labels are never gathered; what remains is the parameters, the
+// staged inputs and blocks, the per-layer outputs, and the aggregator
+// working set.
+func (b Breakdown) ForwardPeak() int64 {
+	return b.Params + b.InputFeatures + b.Blocks + b.Hidden + b.Aggregator
 }
 
 // Total returns the sum of all components (an upper bound the paper's

@@ -319,6 +319,90 @@ func TestPartitioningReducesPeak(t *testing.T) {
 	}
 }
 
+// ForwardPeak must exclude backward-only components and labels, and the
+// planner's Peak override must change which budget the search enforces.
+func TestForwardPeakAndPlannerOverride(t *testing.T) {
+	g := testGraph(t, 8, 2000, 30000)
+	full := sampleBatch(t, g, seedsRange(200), []int{10, 10})
+	spec := sageSpec(t, nn.Config{InDim: 64, Hidden: 64, OutDim: 8, Layers: 2, Aggregator: nn.Mean})
+
+	est, err := Estimate(full, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := est.ForwardPeak()
+	if fwd >= est.Peak() {
+		t.Fatalf("forward peak %d not below training peak %d", fwd, est.Peak())
+	}
+	want := est.Params + est.InputFeatures + est.Blocks + est.Hidden + est.Aggregator
+	if fwd != want {
+		t.Fatalf("ForwardPeak = %d, want component sum %d", fwd, want)
+	}
+
+	// A capacity between the forward peak and the training peak: the
+	// default planner must split, the forward-only planner must not.
+	capacity := (fwd + est.Peak()) / 2
+	if capacity <= fwd {
+		t.Skip("spec too small to separate forward and training peaks")
+	}
+	train := &Planner{Capacity: capacity, Partitioner: reg.BettyBatch{Seed: 1}, Spec: spec}
+	tp, err := train.Plan(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.K < 2 {
+		t.Fatalf("training planner kept K=%d under capacity %d (peak %d)", tp.K, capacity, est.Peak())
+	}
+	infer := &Planner{
+		Capacity:    capacity,
+		Partitioner: reg.BettyBatch{Seed: 1},
+		Spec:        spec,
+		Peak:        Breakdown.ForwardPeak,
+	}
+	ip, err := infer.Plan(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.K != 1 {
+		t.Fatalf("forward-only planner split to K=%d though forward peak %d <= %d", ip.K, fwd, capacity)
+	}
+	if ip.MaxPeak != fwd {
+		t.Fatalf("forward-only MaxPeak = %d, want %d", ip.MaxPeak, fwd)
+	}
+}
+
+func TestSpecForInference(t *testing.T) {
+	r := rng.New(11)
+	sage, err := nn.NewGraphSAGE(nn.Config{InDim: 8, Hidden: 8, OutDim: 4, Layers: 2, Aggregator: nn.Mean}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SpecForInference(sage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OptStatePerParam != 0 {
+		t.Fatalf("inference spec carries optimizer states: %+v", s)
+	}
+	if s.ParamsGNN+s.ParamsAgg != nn.ParamCount(sage) {
+		t.Fatal("inference spec params do not sum to model params")
+	}
+	gat, err := nn.NewGAT(nn.Config{InDim: 8, Hidden: 8, OutDim: 4, Layers: 2, Heads: 2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := SpecForInference(gat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gs.IsGAT {
+		t.Fatalf("GAT inference spec not marked: %+v", gs)
+	}
+	if _, err := SpecForInference(struct{}{}); err == nil {
+		t.Fatal("unsupported model accepted")
+	}
+}
+
 func TestSpecFromModels(t *testing.T) {
 	r := rng.New(10)
 	sage, err := nn.NewGraphSAGE(nn.Config{InDim: 8, Hidden: 8, OutDim: 4, Layers: 2, Aggregator: nn.LSTM}, r)

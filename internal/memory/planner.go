@@ -35,6 +35,19 @@ type Planner struct {
 	// Obs, when non-nil, receives partition/estimate spans per evaluated K
 	// plus planning metrics (plan.attempts, plan.repartitions, plan.k).
 	Obs *obs.Registry
+	// Peak selects which breakdown component sum is compared against the
+	// capacity; nil means Breakdown.Peak (training: forward + backward).
+	// The serving planner sets Breakdown.ForwardPeak, since inference
+	// materializes no gradients or optimizer states.
+	Peak func(Breakdown) int64
+}
+
+// peakOf applies the configured peak function (default Breakdown.Peak).
+func (pl *Planner) peakOf(b Breakdown) int64 {
+	if pl.Peak != nil {
+		return pl.Peak(b)
+	}
+	return b.Peak()
 }
 
 // Plan is the planner's result: the chosen partition count, the output
@@ -120,7 +133,7 @@ func (pl *Planner) evaluate(full []*graph.Block, k int) (*Plan, error) {
 		}
 		plan.Micro = append(plan.Micro, micro)
 		plan.Estimates = append(plan.Estimates, est)
-		if p := est.Peak(); p > plan.MaxPeak {
+		if p := pl.peakOf(est); p > plan.MaxPeak {
 			plan.MaxPeak = p
 		}
 	}

@@ -46,6 +46,8 @@ const (
 	PhaseBackward  = "backward"  // backward pass
 	PhaseStep      = "step"      // optimizer step + gradient clear
 	PhaseEval      = "eval"      // chunked evaluation
+	PhaseEnqueue   = "enqueue"   // serving request admission (internal/serve)
+	PhaseBatch     = "batch"     // serving batch execution (internal/serve)
 )
 
 // Clock is the injected time source. Now returns nanoseconds; only

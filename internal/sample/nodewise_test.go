@@ -1,0 +1,192 @@
+package sample
+
+import (
+	"testing"
+
+	"betty/internal/dataset"
+	"betty/internal/graph"
+	"betty/internal/obs"
+)
+
+// testGraph builds a small synthetic graph for sampler tests.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	ds, err := dataset.LoadScaled("cora", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Graph
+}
+
+// blockEdges renders one destination's in-edge list (global source IDs in
+// block order) for neighborhood comparisons.
+func blockEdges(b *graph.Block, d int) []int32 {
+	var out []int32
+	for p := b.Ptr[d]; p < b.Ptr[d+1]; p++ {
+		out = append(out, b.SrcNID[b.SrcLocal[p]])
+	}
+	return out
+}
+
+// dstEdgeMap maps every destination node ID of a block to its in-edge list.
+func dstEdgeMap(b *graph.Block) map[int32][]int32 {
+	m := make(map[int32][]int32, b.NumDst)
+	for d := 0; d < b.NumDst; d++ {
+		m[b.DstNID[d]] = blockEdges(b, d)
+	}
+	return m
+}
+
+// TestNodeWiseCompositionInvariance is the property the serving batcher is
+// built on: a node's sampled neighborhood (set AND order) is identical
+// whether the node is sampled alone or inside any batch.
+func TestNodeWiseCompositionInvariance(t *testing.T) {
+	g := testGraph(t)
+	s := NewNodeWise([]int{3, 5}, 7)
+
+	batch := []int32{0, 5, 9, 13, 21}
+	full, err := s.Sample(g, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range batch {
+		solo, err := s.Sample(g, []int32{seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Output layer: the seed's own edges must agree.
+		want := blockEdges(solo[len(solo)-1], 0)
+		batchMap := dstEdgeMap(full[len(full)-1])
+		got := batchMap[seed]
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d edges in batch, %d alone", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d edge %d: batch %d, alone %d", seed, i, got[i], want[i])
+			}
+		}
+		// Inner layer: every frontier node shared between the solo and the
+		// batched draw must have the same in-edge list.
+		soloInner := dstEdgeMap(solo[0])
+		batchInner := dstEdgeMap(full[0])
+		for nid, want := range soloInner {
+			got, ok := batchInner[nid]
+			if !ok {
+				t.Fatalf("seed %d: inner node %d missing from batch", seed, nid)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("inner node %d: %d edges in batch, %d alone", nid, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("inner node %d edge %d: batch %d, alone %d", nid, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNodeWiseDeterministic pins that two identical calls yield identical
+// blocks, and that batch order does not change any node's neighborhood.
+func TestNodeWiseDeterministic(t *testing.T) {
+	g := testGraph(t)
+	s := NewNodeWise([]int{3, 5}, 11)
+	a, err := s.Sample(g, []int32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Sample(g, []int32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range a {
+		am, bm := dstEdgeMap(a[l]), dstEdgeMap(b[l])
+		if len(am) != len(bm) {
+			t.Fatalf("layer %d: %d vs %d destinations", l, len(am), len(bm))
+		}
+		for nid, ae := range am {
+			be := bm[nid]
+			if len(ae) != len(be) {
+				t.Fatalf("layer %d node %d: %d vs %d edges", l, nid, len(ae), len(be))
+			}
+			for i := range ae {
+				if ae[i] != be[i] {
+					t.Fatalf("layer %d node %d edge %d differs", l, nid, i)
+				}
+			}
+		}
+	}
+	// Reversed batch order: neighborhoods keyed per node must not move.
+	c, err := s.Sample(g, []int32{4, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := dstEdgeMap(c[len(c)-1])
+	for nid, ae := range dstEdgeMap(a[len(a)-1]) {
+		ce := last[nid]
+		if len(ae) != len(ce) {
+			t.Fatalf("node %d: %d vs %d edges under reversed order", nid, len(ae), len(ce))
+		}
+		for i := range ae {
+			if ae[i] != ce[i] {
+				t.Fatalf("node %d edge %d differs under reversed order", nid, i)
+			}
+		}
+	}
+}
+
+// TestNodeWiseValidation covers the error paths and the chaining invariant.
+func TestNodeWiseValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := NewNodeWise(nil, 1).Sample(g, []int32{0}); err == nil {
+		t.Fatal("expected error for empty fanouts")
+	}
+	if _, err := NewNodeWise([]int{3}, 1).Sample(g, []int32{-1}); err == nil {
+		t.Fatal("expected error for negative seed")
+	}
+	if _, err := NewNodeWise([]int{3}, 1).Sample(g, []int32{g.NumNodes()}); err == nil {
+		t.Fatal("expected error for out-of-range seed")
+	}
+	s := NewNodeWise([]int{3, 4}, 1)
+	if s.NumLayers() != 2 {
+		t.Fatalf("NumLayers = %d", s.NumLayers())
+	}
+	blocks, err := s.Sample(g, []int32{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	last := blocks[len(blocks)-1]
+	if last.DstNID[0] != 2 || last.DstNID[1] != 4 {
+		t.Fatalf("last DstNID = %v", last.DstNID)
+	}
+	// Chaining invariant: inner dst frontier equals outer source frontier.
+	if len(blocks[0].DstNID) != len(blocks[1].SrcNID) {
+		t.Fatalf("frontier mismatch: %d vs %d", len(blocks[0].DstNID), len(blocks[1].SrcNID))
+	}
+	for i := range blocks[0].DstNID {
+		if blocks[0].DstNID[i] != blocks[1].SrcNID[i] {
+			t.Fatalf("frontier node %d: %d vs %d", i, blocks[0].DstNID[i], blocks[1].SrcNID[i])
+		}
+	}
+}
+
+// TestNodeWiseSampleSpan verifies the sampler reports PhaseSample spans
+// through an attached registry.
+func TestNodeWiseSampleSpan(t *testing.T) {
+	g := testGraph(t)
+	reg := obs.New(obs.NewFakeClock(0, 1000))
+	reg.SetTracing(true)
+	s := NewNodeWise([]int{3}, 1)
+	s.Obs = reg
+	if _, err := s.Sample(g, []int32{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	spans := reg.Spans()
+	if len(spans) != 1 || spans[0].Phase != obs.PhaseSample {
+		t.Fatalf("spans = %+v", spans)
+	}
+}

@@ -161,30 +161,7 @@ func (s *Sampler) sampleLayer(g *graph.Graph, frontier []int32, fanout int, r *r
 // enough capacity it returns the inputs unchanged; otherwise it reservoir-
 // samples without replacement (or draws uniformly with replacement).
 func (s *Sampler) choose(r *rng.RNG, neigh, eids []int32, fanout int, scratchSrc, scratchEID []int32) ([]int32, []int32) {
-	if fanout == FullNeighbors || len(neigh) <= fanout {
-		return neigh, eids
-	}
-	scratchSrc = scratchSrc[:0]
-	scratchEID = scratchEID[:0]
-	if s.replace {
-		for i := 0; i < fanout; i++ {
-			j := r.Intn(len(neigh))
-			scratchSrc = append(scratchSrc, neigh[j])
-			scratchEID = append(scratchEID, eids[j])
-		}
-		return scratchSrc, scratchEID
-	}
-	// Reservoir sampling (Algorithm R): uniform without replacement.
-	scratchSrc = append(scratchSrc, neigh[:fanout]...)
-	scratchEID = append(scratchEID, eids[:fanout]...)
-	for i := fanout; i < len(neigh); i++ {
-		j := r.Intn(i + 1)
-		if j < fanout {
-			scratchSrc[j] = neigh[i]
-			scratchEID[j] = eids[i]
-		}
-	}
-	return scratchSrc, scratchEID
+	return chooseNeighbors(r, neigh, eids, fanout, s.replace, scratchSrc, scratchEID)
 }
 
 // SampleFull draws the complete (unsampled) numLayers-hop neighborhood of

@@ -1,0 +1,73 @@
+package serve
+
+import "container/list"
+
+// featureCache is an LRU cache of gathered input-feature rows keyed by
+// global node ID. It is owned by the single batch worker goroutine, so it
+// needs no locking, and — because cached rows are exact copies of the
+// host feature matrix — a hit changes which bytes are copied, never what
+// they are: cache state cannot affect served predictions.
+type featureCache struct {
+	capNodes int
+	entries  map[int32]*list.Element
+	order    *list.List // front = most recently used
+}
+
+// cacheEntry is one resident row.
+type cacheEntry struct {
+	nid int32
+	row []float32
+}
+
+// newFeatureCache returns a cache holding up to capNodes rows; capNodes <= 0
+// returns nil, and every method is safe on a nil cache (always a miss).
+func newFeatureCache(capNodes int) *featureCache {
+	if capNodes <= 0 {
+		return nil
+	}
+	return &featureCache{
+		capNodes: capNodes,
+		entries:  make(map[int32]*list.Element, capNodes),
+		order:    list.New(),
+	}
+}
+
+// get returns the cached row for nid (marking it most recently used) or
+// nil on a miss.
+func (c *featureCache) get(nid int32) []float32 {
+	if c == nil {
+		return nil
+	}
+	el, ok := c.entries[nid]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).row
+}
+
+// put inserts a copy of row for nid, evicting the least recently used
+// entry when full. Re-inserting an existing key refreshes its recency.
+func (c *featureCache) put(nid int32, row []float32) {
+	if c == nil {
+		return
+	}
+	if el, ok := c.entries[nid]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capNodes {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).nid)
+	}
+	c.entries[nid] = c.order.PushFront(&cacheEntry{nid: nid, row: append([]float32(nil), row...)})
+}
+
+// len returns the resident node count.
+func (c *featureCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return c.order.Len()
+}

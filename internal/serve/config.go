@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"betty/internal/obs"
+)
+
+// Config holds every knob of the serving path. The zero value is not
+// usable; start from Defaults (or fill every field) and optionally layer
+// environment overrides on top with ApplyEnv.
+type Config struct {
+	// Fanouts are the per-layer sampling bounds, input-first — they must
+	// match the model's layer count.
+	Fanouts []int
+	// Seed drives the node-wise sampler and the REG partitioner. Because
+	// sampling is keyed per node (sample.NodeWise), the seed fixes every
+	// node's neighborhood for the server's lifetime.
+	Seed uint64
+
+	// MaxBatch is the coalescing target: the batcher stops gathering
+	// requests once the batch holds at least MaxBatch seed nodes. A batch
+	// may exceed it by at most one request's nodes (a pulled request is
+	// never split or pushed back); the memory planner, not MaxBatch, is
+	// what bounds the device footprint.
+	MaxBatch int
+	// MaxWait bounds how long the batcher waits for more requests after
+	// the first one arrives. 0 means drain-only: take whatever is already
+	// queued and run immediately (the deterministic-replay mode).
+	MaxWait time.Duration
+	// QueueDepth is the admission bound: requests beyond it are rejected
+	// with ErrQueueFull (HTTP 429) instead of queuing without limit.
+	QueueDepth int
+	// CacheNodes is the feature-cache capacity in nodes; 0 disables the
+	// cache.
+	CacheNodes int
+	// DefaultTimeout is the per-request deadline applied when a request
+	// does not carry its own; 0 means no deadline.
+	DefaultTimeout time.Duration
+	// MaxRequestNodes bounds the seed nodes of a single request.
+	MaxRequestNodes int
+
+	// CapacityBytes is the device memory budget the planner enforces per
+	// micro-batch (forward-only accounting; see memory.Breakdown.ForwardPeak).
+	CapacityBytes int64
+	// SafetyMargin inflates the planner's estimates (see memory.Planner).
+	SafetyMargin float64
+	// MaxK caps the planner's partition search (0 = number of outputs).
+	MaxK int
+
+	// Clock is the time source for deadlines and latency metrics (nil
+	// means obs.RealClock; tests inject obs.FakeClock).
+	Clock obs.Clock
+	// Obs, when non-nil, receives the serving spans and metrics.
+	Obs *obs.Registry
+	// BatchLog, when non-nil, receives one timing-free NDJSON line per
+	// executed batch — the deterministic record of how requests coalesced.
+	BatchLog io.Writer
+}
+
+// Defaults returns a config with production-shaped defaults for everything
+// but Fanouts, which the caller must set to the model's layer structure.
+func Defaults() Config {
+	return Config{
+		MaxBatch:        256,
+		MaxWait:         2 * time.Millisecond,
+		QueueDepth:      64,
+		CacheNodes:      4096,
+		DefaultTimeout:  time.Second,
+		MaxRequestNodes: 1024,
+		CapacityBytes:   256 << 20,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c *Config) Validate() error {
+	if len(c.Fanouts) == 0 {
+		return fmt.Errorf("serve: no fanouts configured")
+	}
+	for _, f := range c.Fanouts {
+		if f == 0 || f < -1 {
+			return fmt.Errorf("serve: bad fanout %d (positive or -1 for all neighbors)", f)
+		}
+	}
+	if c.MaxBatch <= 0 {
+		return fmt.Errorf("serve: MaxBatch must be positive (got %d)", c.MaxBatch)
+	}
+	if c.MaxWait < 0 {
+		return fmt.Errorf("serve: MaxWait must be non-negative (got %v)", c.MaxWait)
+	}
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("serve: QueueDepth must be positive (got %d)", c.QueueDepth)
+	}
+	if c.CacheNodes < 0 {
+		return fmt.Errorf("serve: CacheNodes must be non-negative (got %d)", c.CacheNodes)
+	}
+	if c.DefaultTimeout < 0 {
+		return fmt.Errorf("serve: DefaultTimeout must be non-negative (got %v)", c.DefaultTimeout)
+	}
+	if c.MaxRequestNodes <= 0 {
+		return fmt.Errorf("serve: MaxRequestNodes must be positive (got %d)", c.MaxRequestNodes)
+	}
+	if c.CapacityBytes <= 0 {
+		return fmt.Errorf("serve: CapacityBytes must be positive (got %d)", c.CapacityBytes)
+	}
+	if c.SafetyMargin < 0 {
+		return fmt.Errorf("serve: SafetyMargin must be non-negative (got %v)", c.SafetyMargin)
+	}
+	return nil
+}
+
+// The BETTY_SERVE_* environment knobs. Like BETTY_WORKERS (see
+// parallel.ParseWorkers), a malformed value fails loudly at startup rather
+// than silently serving under a different policy than the operator set.
+const (
+	EnvMaxBatch        = "BETTY_SERVE_MAX_BATCH"
+	EnvMaxWaitMS       = "BETTY_SERVE_MAX_WAIT_MS"
+	EnvQueueDepth      = "BETTY_SERVE_QUEUE_DEPTH"
+	EnvCacheNodes      = "BETTY_SERVE_CACHE_NODES"
+	EnvTimeoutMS       = "BETTY_SERVE_TIMEOUT_MS"
+	EnvMaxRequestNodes = "BETTY_SERVE_MAX_REQUEST_NODES"
+	EnvCapacityMiB     = "BETTY_SERVE_CAPACITY_MIB"
+)
+
+// ApplyEnv overlays environment overrides on c, reading variables through
+// getenv (os.Getenv in production; tests pass a map lookup). Unset or empty
+// variables leave the field untouched; any malformed value is an error
+// naming the variable.
+func (c *Config) ApplyEnv(getenv func(string) string) error {
+	intVars := []struct {
+		name string
+		min  int64
+		set  func(int64)
+	}{
+		{EnvMaxBatch, 1, func(v int64) { c.MaxBatch = int(v) }},
+		{EnvMaxWaitMS, 0, func(v int64) { c.MaxWait = time.Duration(v) * time.Millisecond }},
+		{EnvQueueDepth, 1, func(v int64) { c.QueueDepth = int(v) }},
+		{EnvCacheNodes, 0, func(v int64) { c.CacheNodes = int(v) }},
+		{EnvTimeoutMS, 0, func(v int64) { c.DefaultTimeout = time.Duration(v) * time.Millisecond }},
+		{EnvMaxRequestNodes, 1, func(v int64) { c.MaxRequestNodes = int(v) }},
+		{EnvCapacityMiB, 1, func(v int64) { c.CapacityBytes = v << 20 }},
+	}
+	for _, ev := range intVars {
+		raw := getenv(ev.name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return fmt.Errorf("serve: %s=%q: not an integer", ev.name, raw)
+		}
+		if v < ev.min {
+			return fmt.Errorf("serve: %s=%d: must be >= %d", ev.name, v, ev.min)
+		}
+		ev.set(v)
+	}
+	return nil
+}

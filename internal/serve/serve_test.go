@@ -1,0 +1,579 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"betty/internal/core"
+	"betty/internal/dataset"
+	"betty/internal/memory"
+	"betty/internal/obs"
+	"betty/internal/parallel"
+	"betty/internal/tensor"
+)
+
+// testData builds the small synthetic graph the serving tests share.
+func testData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name: "t", Nodes: 800, AvgDegree: 10, FeatureDim: 24,
+		NumClasses: 5, Homophily: 0.8, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// testModel builds a deterministic GraphSAGE over d.
+func testModel(t *testing.T, d *dataset.Dataset) any {
+	t.Helper()
+	s, err := core.BuildSAGE(d, core.Options{Seed: 50, Hidden: 16, Fanouts: []int{4, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Model
+}
+
+// testConfig is the deterministic-replay base config: drain-only batching,
+// fake clock, ample capacity.
+func testConfig(clock obs.Clock, reg *obs.Registry) Config {
+	cfg := Defaults()
+	cfg.Fanouts = []int{4, 6}
+	cfg.Seed = 9
+	cfg.MaxWait = 0
+	cfg.DefaultTimeout = 0
+	cfg.Clock = clock
+	cfg.Obs = reg
+	return cfg
+}
+
+func newTestServer(t *testing.T, d *dataset.Dataset, model any, cfg Config) *Server {
+	t.Helper()
+	s, err := New(d, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// soloScores serves each request alone on a fresh server with the same
+// seed — the ground truth coalesced responses must match bitwise.
+func soloScores(t *testing.T, d *dataset.Dataset, model any, cfg Config, nodes []int32) [][]float32 {
+	t.Helper()
+	s := newTestServer(t, d, model, cfg)
+	s.Start()
+	defer s.Close()
+	scores, err := s.Predict(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scores
+}
+
+func bitwiseEqual(a, b [][]float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float32bits(a[i][j]) != math.Float32bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Coalesced responses must be bitwise what each request would have gotten
+// alone, including shared and duplicated nodes, and the requests must have
+// shared one batch.
+func TestCoalescingIsExact(t *testing.T) {
+	d := testData(t)
+	model := testModel(t, d)
+	reg := obs.New(obs.NewFakeClock(0, 1))
+	cfg := testConfig(obs.NewFakeClock(0, 1), reg)
+	s := newTestServer(t, d, model, cfg)
+
+	traces := [][]int32{
+		{3, 8, 120},
+		{8, 700, 3}, // overlaps request 0
+		{41, 41, 5}, // duplicate node within one request
+	}
+	// Enqueue everything before Start so the drain-only batcher must
+	// coalesce all three into one batch.
+	reqs := make([]*request, len(traces))
+	for i, nodes := range traces {
+		r, err := s.enqueue(nodes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs[i] = r
+	}
+	s.Start()
+	got := make([][][]float32, len(reqs))
+	for i, r := range reqs {
+		res := <-r.done
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		got[i] = res.scores
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b := s.StatsSnapshot().Batches; b != 1 {
+		t.Fatalf("3 pre-queued requests ran in %d batches, want 1", b)
+	}
+	for i, nodes := range traces {
+		want := soloScores(t, d, model, testConfig(obs.NewFakeClock(0, 1), nil), nodes)
+		if !bitwiseEqual(got[i], want) {
+			t.Fatalf("request %d: coalesced response differs from solo response", i)
+		}
+	}
+}
+
+// A capacity between one micro-batch and the whole batch forces K > 1;
+// the split must stay invisible in the responses and the planned peak must
+// respect the budget.
+func TestMicroBatchSplitIsExactAndBudgeted(t *testing.T) {
+	d := testData(t)
+	model := testModel(t, d)
+	nodes := make([]int32, 120)
+	for i := range nodes {
+		nodes[i] = int32(i * 6)
+	}
+	want := soloScores(t, d, model, testConfig(obs.NewFakeClock(0, 1), nil), nodes)
+
+	// Find a budget that forces a split: plan the same union unbounded,
+	// then serve under half its peak.
+	var log bytes.Buffer
+	reg := obs.New(obs.NewFakeClock(0, 1))
+	cfg := testConfig(obs.NewFakeClock(0, 1), reg)
+	cfg.BatchLog = &log
+	probe := newTestServer(t, d, model, cfg)
+	blocks, err := probe.sampler.Sample(d.Graph, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := memory.Estimate(blocks, probe.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CapacityBytes = est.ForwardPeak() / 2
+	s := newTestServer(t, d, model, cfg)
+	s.Start()
+	got, err := s.Predict(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if !bitwiseEqual(got, want) {
+		t.Fatal("micro-batched response differs from unsplit response")
+	}
+	st := s.StatsSnapshot()
+	if st.MaxEstPeakBytes <= 0 || st.MaxEstPeakBytes > cfg.CapacityBytes {
+		t.Fatalf("planned peak %d outside budget %d", st.MaxEstPeakBytes, cfg.CapacityBytes)
+	}
+	if !bytes.Contains(log.Bytes(), []byte(`"k":`)) || bytes.Contains(log.Bytes(), []byte(`"k":1,`)) {
+		t.Fatalf("batch log does not show a split: %s", log.String())
+	}
+}
+
+// The queue bound must reject with ErrQueueFull, and Close must fail
+// queued requests with ErrClosed rather than stranding their callers.
+func TestQueueOverflowAndClose(t *testing.T) {
+	d := testData(t)
+	model := testModel(t, d)
+	cfg := testConfig(obs.NewFakeClock(0, 1), obs.New(obs.NewFakeClock(0, 1)))
+	cfg.QueueDepth = 2
+	s := newTestServer(t, d, model, cfg) // never started: the queue can only fill
+	r1, err := s.enqueue([]int32{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.enqueue([]int32{2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.enqueue([]int32{3}, 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow returned %v, want ErrQueueFull", err)
+	}
+	if s.StatsSnapshot().RejectedQueueFull != 1 {
+		t.Fatal("overflow not counted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*request{r1, r2} {
+		if res := <-r.done; !errors.Is(res.err, ErrClosed) {
+			t.Fatalf("queued request got %v, want ErrClosed", res.err)
+		}
+	}
+	if _, err := s.Predict([]int32{4}, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Predict returned %v, want ErrClosed", err)
+	}
+}
+
+// A request whose deadline passes while it queues must be failed at the
+// batch boundary, not executed.
+func TestDeadlineHonoredAtBatchBoundary(t *testing.T) {
+	d := testData(t)
+	model := testModel(t, d)
+	clock := obs.NewFakeClock(0, 0) // manual time: only Advance moves it
+	cfg := testConfig(clock, obs.New(clock))
+	s := newTestServer(t, d, model, cfg)
+	expired, err := s.enqueue([]int32{7}, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive, err := s.enqueue([]int32{9}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Millisecond.Nanoseconds())
+	s.Start()
+	defer s.Close()
+	if res := <-expired.done; !errors.Is(res.err, ErrDeadlineExceeded) {
+		t.Fatalf("expired request got %v, want ErrDeadlineExceeded", res.err)
+	}
+	if res := <-alive.done; res.err != nil {
+		t.Fatalf("in-deadline request failed: %v", res.err)
+	}
+	if s.StatsSnapshot().DeadlineExceeded != 1 {
+		t.Fatal("deadline rejection not counted")
+	}
+}
+
+// Validation failures must reject before admission.
+func TestRequestValidation(t *testing.T) {
+	d := testData(t)
+	model := testModel(t, d)
+	cfg := testConfig(obs.NewFakeClock(0, 1), nil)
+	cfg.MaxRequestNodes = 4
+	s := newTestServer(t, d, model, cfg)
+	for _, nodes := range [][]int32{
+		nil,
+		{-1},
+		{int32(d.Graph.NumNodes())},
+		{1, 2, 3, 4, 5}, // over MaxRequestNodes
+	} {
+		if _, err := s.enqueue(nodes, 0); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("nodes %v admitted (err %v), want ErrInvalid", nodes, err)
+		}
+	}
+}
+
+// A panic while executing one batch must fail that batch's requests and
+// leave the worker serving the next.
+func TestPanicIsolation(t *testing.T) {
+	d := testData(t)
+	model := testModel(t, d)
+	reg := obs.New(obs.NewFakeClock(0, 1))
+	cfg := testConfig(obs.NewFakeClock(0, 1), reg)
+	cfg.CacheNodes = 0 // gather straight from the (sabotaged) feature matrix
+	s := newTestServer(t, d, model, cfg)
+
+	// Sabotage: swap in a truncated feature matrix (same graph) so the
+	// batch's feature gather indexes out of range and panics mid-pipeline.
+	good := s.ds
+	bad := *d
+	bad.Features = tensor.New(1, d.FeatureDim())
+	s.ds = &bad
+	doomed, err := s.enqueue([]int32{5, 9}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	res := <-doomed.done
+	s.ds = good // repair; the worker is idle again once doomed has its answer
+	if res.err == nil || !strings.Contains(res.err.Error(), "panicked") {
+		t.Fatalf("panicked batch returned %v, want a batch-panic error", res.err)
+	}
+	if reg.CounterValue("serve.panics") != 1 {
+		t.Fatal("panic not counted")
+	}
+	// Worker must still serve.
+	if _, err := s.Predict([]int32{5, 9}, 0); err != nil {
+		t.Fatalf("worker dead after panic: %v", err)
+	}
+}
+
+// The feature cache must hit on re-requested nodes without changing any
+// response byte.
+func TestFeatureCache(t *testing.T) {
+	d := testData(t)
+	model := testModel(t, d)
+	reg := obs.New(obs.NewFakeClock(0, 1))
+	cfg := testConfig(obs.NewFakeClock(0, 1), reg)
+	cfg.CacheNodes = 4096
+	s := newTestServer(t, d, model, cfg)
+	s.Start()
+	defer s.Close()
+	first, err := s.Predict([]int32{10, 20, 30}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.StatsSnapshot()
+	if st.CacheMisses == 0 || st.CacheHits != 0 {
+		t.Fatalf("cold cache: hits=%d misses=%d", st.CacheHits, st.CacheMisses)
+	}
+	second, err := s.Predict([]int32{10, 20, 30}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StatsSnapshot().CacheHits == 0 {
+		t.Fatal("warm cache produced no hits")
+	}
+	if !bitwiseEqual(first, second) {
+		t.Fatal("cache changed the response bytes")
+	}
+
+	// No-cache server must produce the same bytes.
+	noCacheCfg := testConfig(obs.NewFakeClock(0, 1), nil)
+	noCacheCfg.CacheNodes = 0
+	want := soloScores(t, d, model, noCacheCfg, []int32{10, 20, 30})
+	if !bitwiseEqual(first, want) {
+		t.Fatal("cached response differs from uncached response")
+	}
+}
+
+// The LRU itself: eviction order, recency refresh, nil safety.
+func TestFeatureCacheLRU(t *testing.T) {
+	c := newFeatureCache(2)
+	c.put(1, []float32{1})
+	c.put(2, []float32{2})
+	if c.get(1) == nil { // 1 becomes most recent
+		t.Fatal("miss on resident node")
+	}
+	c.put(3, []float32{3}) // evicts 2
+	if c.get(2) != nil {
+		t.Fatal("LRU kept the least recently used entry")
+	}
+	if c.get(1) == nil || c.get(3) == nil {
+		t.Fatal("LRU evicted a recent entry")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+	var nilCache *featureCache
+	if nilCache.get(1) != nil || nilCache.len() != 0 {
+		t.Fatal("nil cache misbehaved")
+	}
+	nilCache.put(1, []float32{1}) // must not panic
+	if newFeatureCache(0) != nil {
+		t.Fatal("zero-capacity cache not disabled")
+	}
+}
+
+// A fixed request trace must produce byte-identical batch logs and
+// bitwise-identical responses at any BETTY_WORKERS.
+func TestTraceDeterminismAcrossWorkers(t *testing.T) {
+	d := testData(t)
+	traces := [][]int32{
+		{3, 8, 120}, {8, 700, 3}, {41, 5}, {700, 701, 702, 3},
+	}
+	run := func(workers int) (string, [][][]float32) {
+		defer parallel.SetWorkers(parallel.SetWorkers(workers))
+		model := testModel(t, d)
+		var log bytes.Buffer
+		cfg := testConfig(obs.NewFakeClock(0, 1), nil)
+		cfg.BatchLog = &log
+		cfg.MaxBatch = 6 // forces the trace into multiple batches
+		s := newTestServer(t, d, model, cfg)
+		reqs := make([]*request, len(traces))
+		for i, nodes := range traces {
+			r, err := s.enqueue(nodes, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs[i] = r
+		}
+		s.Start()
+		out := make([][][]float32, len(reqs))
+		for i, r := range reqs {
+			res := <-r.done
+			if res.err != nil {
+				t.Fatal(res.err)
+			}
+			out[i] = res.scores
+		}
+		s.Close()
+		return log.String(), out
+	}
+	log1, out1 := run(1)
+	log8, out8 := run(8)
+	if log1 != log8 {
+		t.Fatalf("batch logs differ across worker counts:\n1: %s\n8: %s", log1, log8)
+	}
+	if log1 == "" {
+		t.Fatal("no batch log emitted")
+	}
+	for i := range out1 {
+		if !bitwiseEqual(out1[i], out8[i]) {
+			t.Fatalf("request %d responses differ across worker counts", i)
+		}
+	}
+}
+
+// Spans for every serving phase must appear under the fake clock.
+func TestServingSpans(t *testing.T) {
+	clock := obs.NewFakeClock(0, 10)
+	reg := obs.New(clock)
+	reg.SetTracing(true)
+	d := testData(t)
+	model := testModel(t, d)
+	s := newTestServer(t, d, model, testConfig(clock, reg))
+	s.Start()
+	defer s.Close()
+	if _, err := s.Predict([]int32{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]bool{}
+	for _, sp := range reg.Spans() {
+		phases[sp.Phase] = true
+	}
+	for _, want := range []string{obs.PhaseEnqueue, obs.PhaseBatch, obs.PhaseSample, obs.PhaseEstimate, obs.PhaseForward} {
+		if !phases[want] {
+			t.Fatalf("no %q span recorded (got %v)", want, phases)
+		}
+	}
+	if reg.HistogramWith("serve.queue_wait_ns", nil).Count() == 0 {
+		t.Fatal("queue wait not observed")
+	}
+	if reg.HistogramWith("serve.e2e_ns", nil).Count() == 0 {
+		t.Fatal("e2e latency not observed")
+	}
+}
+
+// Config validation and the BETTY_SERVE_* environment overlay.
+func TestConfigEnv(t *testing.T) {
+	base := func() Config {
+		c := Defaults()
+		c.Fanouts = []int{4, 6}
+		return c
+	}
+	env := func(m map[string]string) func(string) string {
+		return func(k string) string { return m[k] }
+	}
+
+	c := base()
+	if err := c.ApplyEnv(env(map[string]string{
+		EnvMaxBatch:        "32",
+		EnvMaxWaitMS:       "5",
+		EnvQueueDepth:      "7",
+		EnvCacheNodes:      "0",
+		EnvTimeoutMS:       "250",
+		EnvMaxRequestNodes: "9",
+		EnvCapacityMiB:     "64",
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxBatch != 32 || c.MaxWait != 5*time.Millisecond || c.QueueDepth != 7 ||
+		c.CacheNodes != 0 || c.DefaultTimeout != 250*time.Millisecond ||
+		c.MaxRequestNodes != 9 || c.CapacityBytes != 64<<20 {
+		t.Fatalf("env not applied: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unset variables leave defaults alone.
+	c2 := base()
+	if err := c2.ApplyEnv(env(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if c2.MaxBatch != base().MaxBatch {
+		t.Fatal("empty env changed defaults")
+	}
+
+	// Malformed values fail loudly, naming the variable.
+	for _, bad := range []map[string]string{
+		{EnvMaxBatch: "zero"},
+		{EnvMaxBatch: "0"},
+		{EnvMaxBatch: "-3"},
+		{EnvMaxWaitMS: "-1"},
+		{EnvQueueDepth: "0"},
+		{EnvCacheNodes: "-1"},
+		{EnvTimeoutMS: "soon"},
+		{EnvMaxRequestNodes: "0"},
+		{EnvCapacityMiB: "0x40"},
+	} {
+		c := base()
+		err := c.ApplyEnv(env(bad))
+		if err == nil {
+			t.Fatalf("malformed env %v accepted", bad)
+		}
+		for k := range bad {
+			if !bytes.Contains([]byte(err.Error()), []byte(k)) {
+				t.Fatalf("error %q does not name %s", err, k)
+			}
+		}
+	}
+
+	// Validate catches bad programmatic configs too.
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.Fanouts = nil },
+		func(c *Config) { c.Fanouts = []int{0} },
+		func(c *Config) { c.MaxBatch = 0 },
+		func(c *Config) { c.MaxWait = -time.Second },
+		func(c *Config) { c.QueueDepth = 0 },
+		func(c *Config) { c.CacheNodes = -1 },
+		func(c *Config) { c.DefaultTimeout = -time.Second },
+		func(c *Config) { c.MaxRequestNodes = 0 },
+		func(c *Config) { c.CapacityBytes = 0 },
+		func(c *Config) { c.SafetyMargin = -0.1 },
+	} {
+		c := base()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config accepted: %+v", c)
+		}
+	}
+}
+
+// New must reject model/config mismatches.
+func TestNewValidation(t *testing.T) {
+	d := testData(t)
+	model := testModel(t, d)
+	cfg := testConfig(nil, nil)
+	cfg.Fanouts = []int{4} // model has 2 layers
+	if _, err := New(d, model, cfg); err == nil {
+		t.Fatal("fanout/layer mismatch accepted")
+	}
+	if _, err := New(d, struct{}{}, testConfig(nil, nil)); err == nil {
+		t.Fatal("unsupported model accepted")
+	}
+}
+
+// The load generator must drive a live server and report sane latencies.
+func TestRunLoad(t *testing.T) {
+	d := testData(t)
+	model := testModel(t, d)
+	cfg := testConfig(nil, obs.New(nil)) // real clock: loadgen measures wall time
+	cfg.MaxWait = time.Millisecond
+	s := newTestServer(t, d, model, cfg)
+	s.Start()
+	defer s.Close()
+	rep, err := RunLoad(s, LoadConfig{Requests: 20, NodesPerRequest: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d load errors", rep.Errors)
+	}
+	if rep.ThroughputRPS <= 0 || rep.P50NS <= 0 || rep.P99NS < rep.P50NS || rep.MaxNS < rep.P99NS {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if _, err := RunLoad(s, LoadConfig{}); err == nil {
+		t.Fatal("zero-request load accepted")
+	}
+}
