@@ -8,6 +8,7 @@
 //	bettybench -exp all
 //	bettybench -step BENCH_step.json [-scale 0.2]
 //	bettybench -serve BENCH_serve.json [-scale 0.2]
+//	bettybench -multidev BENCH_multidev.json [-scale 0.2]
 package main
 
 import (
@@ -29,8 +30,27 @@ func main() {
 		verbose = flag.Bool("v", false, "log progress to stderr")
 		step    = flag.String("step", "", "write the training-step perf sweep (workers x pool) to this JSON file")
 		srv     = flag.String("serve", "", "write the online-serving load report to this JSON file")
+		mdev    = flag.String("multidev", "", "write the split-parallel scaling sweep (devices x shard partitioner) to this JSON file")
 	)
 	flag.Parse()
+
+	if *mdev != "" {
+		rep, err := bench.WriteMultiDevBench(*mdev, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bettybench: multidev bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, c := range rep.Cells {
+			fmt.Printf("%-8s x%d  makespan %8.2fms  speedup %5.2fx  halo %8.2fMiB  allreduce %6.2fms  peak %7.1fMiB\n",
+				c.Partitioner, c.Devices, c.MakespanMS, c.Speedup, c.HaloMiB, c.AllReduceMS, c.MaxPeakMiB)
+		}
+		fmt.Printf("REG boundary @ %d parts:", rep.Devices[len(rep.Devices)-1])
+		for _, name := range []string{"range", "random", "metis", "betty"} {
+			fmt.Printf("  %s=%d", name, rep.RegBoundary[name])
+		}
+		fmt.Println()
+		return
+	}
 
 	if *srv != "" {
 		rep, err := bench.WriteServeBench(*srv, *scale)

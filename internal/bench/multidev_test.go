@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMultiDevBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multidev bench smoke skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_multidev.json")
+	rep, err := WriteMultiDevBench(path, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Cells), 4*len(rep.Devices); got != want {
+		t.Fatalf("%d cells, want %d", got, want)
+	}
+	for name, b := range rep.RegBoundary {
+		if b <= 0 {
+			t.Fatalf("REG boundary for %s is %d", name, b)
+		}
+	}
+	for _, c := range rep.Cells {
+		if c.MakespanMS <= 0 {
+			t.Fatalf("cell %s x%d has no makespan", c.Partitioner, c.Devices)
+		}
+		if c.Devices == 1 && (c.HaloMiB != 0 || c.AllReduceMS != 0) {
+			t.Fatalf("1-device cell has parallel costs: %+v", c)
+		}
+		if c.Devices > 1 && (c.HaloMiB <= 0 || c.AllReduceMS <= 0) {
+			t.Fatalf("cell %s x%d missing halo/all-reduce: %+v", c.Partitioner, c.Devices, c)
+		}
+		// Numerics are device-count and shard-partitioner independent:
+		// every cell trains to the same loss, bitwise.
+		if math.Float64bits(c.Loss) != math.Float64bits(rep.Cells[0].Loss) {
+			t.Fatalf("cell %s x%d loss %v differs from %v",
+				c.Partitioner, c.Devices, c.Loss, rep.Cells[0].Loss)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded MultiDevBenchReport
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+}

@@ -52,6 +52,15 @@ type Engine struct {
 	// planner it builds, and — when installed with SetObs — the runner,
 	// sampler, and REG partitioner too.
 	Obs *obs.Registry
+	// PlanCapacity, when positive, overrides the planning budget (by
+	// default the attached device's capacity). Multi-device training plans
+	// against the smallest per-device capacity.
+	PlanCapacity int64
+	// PlanPeak, when non-nil, overrides which component sum of the memory
+	// breakdown the planner compares against the budget (see
+	// memory.Planner.Peak). Multi-device training installs the split-aware
+	// peak so each micro-batch is budgeted at its per-device share.
+	PlanPeak func(memory.Breakdown) int64
 }
 
 // SetObs installs one registry on the engine and every collaborator it
@@ -133,13 +142,18 @@ func (e *Engine) PlanEpoch(seeds []int32) ([]*graph.Block, *memory.Plan, error) 
 			margin = m
 		}
 	}
+	capacity := e.capacity()
+	if e.PlanCapacity > 0 {
+		capacity = e.PlanCapacity
+	}
 	pl := &memory.Planner{
-		Capacity:     e.capacity(),
+		Capacity:     capacity,
 		Partitioner:  e.Partitioner,
 		Spec:         e.Spec,
 		MaxK:         e.MaxK,
 		SafetyMargin: margin,
 		Obs:          e.Obs,
+		Peak:         e.PlanPeak,
 	}
 	var plan *memory.Plan
 	if e.FixedK > 0 {
@@ -167,15 +181,69 @@ func (e *Engine) TrainEpochMicroSeeds(seeds []int32) (EpochStats, error) {
 	if err != nil {
 		return st, err
 	}
+	e.fillPlanStats(&st, full, plan)
+	if err := e.executePlan(plan, &st); err != nil {
+		return st, err
+	}
+	e.Runner.Step()
+	e.Obs.Add("epoch.count", 1)
+	e.Obs.Set("epoch.k", int64(st.K))
+	e.Obs.Set("epoch.peak_bytes", st.PeakBytes)
+	e.Obs.Set("epoch.est_peak_bytes", st.MaxEstimate)
+	if e.Tracker != nil {
+		// Margin is a small fraction; gauges are integers, so expose it in
+		// parts per million.
+		e.Obs.Set("plan.margin_ppm", int64(e.Tracker.Margin()*1e6))
+	}
+	return st, nil
+}
+
+// fillPlanStats records the planning outcome on st.
+func (e *Engine) fillPlanStats(st *EpochStats, full []*graph.Block, plan *memory.Plan) {
 	st.K = plan.K
 	st.PlanAttempts = plan.Attempts
 	st.MaxEstimate = plan.MaxPeak
 	st.Redundancy = plan.Redundancy(full)
 	st.InputNodes = graph.TotalInputNodes(plan.Micro)
 	st.HostBytes = e.Runner.Data.HostBytes()
+}
 
-	totalOut := len(seeds)
-	labeled := 0
+// labeledOutputs counts the labeled destinations of each micro-batch and
+// their total. Losses and gradient scales follow the labeled-count
+// convention: SoftmaxCrossEntropy averages over labeled rows only, so the
+// micro-batch whose gradients reconstruct the full-batch gradient must be
+// weighted by its share of *labeled* outputs — weighting by the raw
+// destination count over-weights micro-batches that happen to hold many
+// unlabeled seeds. When no label is masked the two conventions produce the
+// same floats, so unmasked training is bitwise unchanged.
+func (e *Engine) labeledOutputs(micros [][]*graph.Block) ([]int, int) {
+	labels := e.Runner.Data.Labels
+	counts := make([]int, len(micros))
+	total := 0
+	for i, mb := range micros {
+		last := mb[len(mb)-1]
+		n := 0
+		for _, nid := range last.DstNID {
+			if labels[nid] >= 0 {
+				n++
+			}
+		}
+		counts[i] = n
+		total += n
+	}
+	return counts, total
+}
+
+// executePlan runs the planned micro-batches in plan order — one
+// gradient-accumulating pass with the labeled-count loss convention —
+// and accumulates loss, accuracy, times, and peaks into st. It is the
+// canonical execution shared by single-device training and the
+// multi-device path, which is what keeps the two bitwise identical: the
+// numerical work is a function of the plan alone, never of how many
+// devices the simulation spreads it over.
+func (e *Engine) executePlan(plan *memory.Plan, st *EpochStats) error {
+	labeledPer, totalLabeled := e.labeledOutputs(plan.Micro)
+	correct, labeled := 0, 0
 	for i, micro := range plan.Micro {
 		// Reset the peak tracker per micro-batch: transient buffers are
 		// freed between micro-batches, so the epoch peak is the max of the
@@ -184,14 +252,18 @@ func (e *Engine) TrainEpochMicroSeeds(seeds []int32) (EpochStats, error) {
 		if e.Runner.Dev != nil {
 			e.Runner.Dev.ResetPeak()
 		}
-		outs := micro[len(micro)-1].NumDst
-		scale := float32(outs) / float32(totalOut)
+		var scale float32
+		if totalLabeled > 0 {
+			scale = float32(labeledPer[i]) / float32(totalLabeled)
+		}
 		res, err := e.Runner.RunMicroBatch(micro, scale)
 		if err != nil {
-			return st, fmt.Errorf("core: micro-batch: %w", err)
+			return fmt.Errorf("core: micro-batch: %w", err)
 		}
-		st.Loss += res.Loss * float64(outs) / float64(totalOut)
-		st.TrainAcc += float64(res.Correct)
+		if totalLabeled > 0 {
+			st.Loss += res.Loss * float64(labeledPer[i]) / float64(totalLabeled)
+		}
+		correct += res.Correct
 		labeled += res.Count
 		st.TransferSeconds += res.TransferSeconds
 		st.ComputeSeconds += res.ComputeSeconds
@@ -208,21 +280,11 @@ func (e *Engine) TrainEpochMicroSeeds(seeds []int32) (EpochStats, error) {
 	// seeds, so dividing by the seed count would deflate TrainAcc whenever
 	// any seed is unlabeled.
 	if labeled > 0 {
-		st.TrainAcc /= float64(labeled)
+		st.TrainAcc = float64(correct) / float64(labeled)
 	} else {
 		st.TrainAcc = 0
 	}
-	e.Runner.Step()
-	e.Obs.Add("epoch.count", 1)
-	e.Obs.Set("epoch.k", int64(st.K))
-	e.Obs.Set("epoch.peak_bytes", st.PeakBytes)
-	e.Obs.Set("epoch.est_peak_bytes", st.MaxEstimate)
-	if e.Tracker != nil {
-		// Margin is a small fraction; gauges are integers, so expose it in
-		// parts per million.
-		e.Obs.Set("plan.margin_ppm", int64(e.Tracker.Margin()*1e6))
-	}
-	return st, nil
+	return nil
 }
 
 // TrainEpochFull runs one full-batch epoch (K = 1): the baseline whose
@@ -255,7 +317,17 @@ func (e *Engine) TrainEpochMini(k int, shuffleSeed uint64) (EpochStats, error) {
 		e.Runner.Dev.ResetPeak()
 	}
 	n := len(order)
-	labeled := 0
+	// Loss weighting follows the labeled-count convention (see
+	// labeledOutputs): each batch's mean-over-labeled loss is weighted by
+	// its share of the epoch's labeled seeds. Identical to seed-count
+	// weighting when nothing is masked.
+	totalLabeled := 0
+	for _, nid := range order {
+		if e.Runner.Data.Labels[nid] >= 0 {
+			totalLabeled++
+		}
+	}
+	correct, labeled := 0, 0
 	for i := 0; i < k; i++ {
 		lo, hi := i*n/k, (i+1)*n/k
 		if lo == hi {
@@ -270,8 +342,10 @@ func (e *Engine) TrainEpochMini(k int, shuffleSeed uint64) (EpochStats, error) {
 		if err != nil {
 			return st, fmt.Errorf("core: mini-batch %d: %w", i, err)
 		}
-		st.Loss += res.Loss * float64(hi-lo) / float64(n)
-		st.TrainAcc += float64(res.Correct)
+		if totalLabeled > 0 {
+			st.Loss += res.Loss * float64(res.Count) / float64(totalLabeled)
+		}
+		correct += res.Correct
 		labeled += res.Count
 		st.TransferSeconds += res.TransferSeconds
 		st.ComputeSeconds += res.ComputeSeconds
@@ -282,7 +356,7 @@ func (e *Engine) TrainEpochMini(k int, shuffleSeed uint64) (EpochStats, error) {
 	}
 	// As in TrainEpochMicroSeeds: divide by labeled outputs, not seeds.
 	if labeled > 0 {
-		st.TrainAcc /= float64(labeled)
+		st.TrainAcc = float64(correct) / float64(labeled)
 	} else {
 		st.TrainAcc = 0
 	}

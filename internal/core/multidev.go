@@ -2,37 +2,103 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"betty/internal/device"
+	"betty/internal/graph"
+	"betty/internal/memory"
 	"betty/internal/nn"
+	"betty/internal/obs"
+	"betty/internal/reg"
 )
 
-// MultiDevice extends the engine to several simulated accelerators — the
-// multi-GPU direction the paper lists as future work. Micro-batches are
-// scheduled across the devices with a longest-processing-time greedy
-// assignment over their estimated cost; each device accumulates partial
-// gradients over its share, and one gradient all-reduce plus a single
-// optimizer step closes the epoch. Because micro-batch gradients sum
-// linearly, the result remains mathematically identical to full-batch
-// training regardless of the device count or assignment.
+// MultiDevice extends the engine to several simulated accelerators using
+// GSplit-style split-parallelism: instead of sharding whole micro-batches
+// between devices (classic data parallelism over batches), every planned
+// micro-batch is itself partitioned across the N devices — the natural
+// multi-device extension of Betty's batch-level REG partitioning. Each
+// device executes one shard of every micro-batch; input features it does
+// not own arrive from their owning device over the fast interconnect (halo
+// exchange) instead of being re-loaded from the host, and a deterministic
+// binomial-tree all-reduce merges the gradient contributions before the
+// single optimizer step that closes the epoch.
+//
+// Determinism contract: the numerical work — forward, backward, gradient
+// fold, optimizer step — is a function of the plan alone and is executed in
+// plan order on the host, never of the device count (the same invariant
+// internal/parallel enforces for worker counts). The devices' ledgers and
+// clocks replay that work cooperatively: per-shard memory charges (which
+// surface per-device OOM), host loads for owned inputs, halo traffic for
+// the rest, compute time from measured shard forwards, and the tree
+// all-reduce schedule. Results are therefore bitwise identical to
+// single-device training at any device count, in either mode.
 type MultiDevice struct {
 	Engine  *Engine
 	Devices []*device.Device
-	// AllReduceBandwidth is the interconnect bandwidth (bytes/s) used to
-	// cost the ring all-reduce; 0 selects 50 GB/s (NVLink-class).
-	AllReduceBandwidth float64
+
+	// Interconnect models the device-to-device links used for halo
+	// exchange and the gradient all-reduce. A zero Bandwidth selects
+	// device.DefaultInterconnect (NVLink-class 50 GB/s).
+	Interconnect device.Interconnect
+
+	// ShardPartitioner splits each micro-batch's destination set across
+	// the devices (split-parallel mode). Nil uses the engine's batch
+	// partitioner — Betty's REG partitioning by default, so output nodes
+	// sharing many inputs land on the same device and the halo stays
+	// small. reg.RangeBatch / reg.RandomBatch / reg.MetisBatch give the
+	// baseline layouts the multidev bench sweeps.
+	ShardPartitioner reg.BatchPartitioner
+
+	// Mode selects the scheduling scheme; the zero value is SplitParallel.
+	Mode MultiDeviceMode
 
 	// replicas holds each device's persistent model-state buffers, so one
 	// replica per device survives across epochs (no re-allocation leak).
 	replicas map[*device.Device][]*device.Buffer
 }
 
+// MultiDeviceMode selects how an epoch's work is spread over the devices.
+type MultiDeviceMode int
+
+const (
+	// SplitParallel partitions every micro-batch across all devices and
+	// executes the shards cooperatively with halo feature exchange.
+	SplitParallel MultiDeviceMode = iota
+	// BatchParallel assigns whole micro-batches to devices with an LPT
+	// greedy schedule — the data-parallel baseline split-parallelism is
+	// measured against.
+	BatchParallel
+)
+
+// String implements fmt.Stringer for experiment output.
+func (m MultiDeviceMode) String() string {
+	if m == BatchParallel {
+		return "batch-parallel"
+	}
+	return "split-parallel"
+}
+
 // DeviceLoad reports one device's share of an epoch.
 type DeviceLoad struct {
-	// Batches is the number of micro-batches the device executed.
+	// Batches counts the executions charged to the device: micro-batch
+	// shards in split-parallel mode, whole micro-batches in batch-parallel
+	// mode.
 	Batches int
 	// Seconds is the device's accumulated compute + transfer time.
 	Seconds float64
+	// ComputeSeconds and TransferSeconds split Seconds by clock; transfer
+	// time includes both host loads and received halo bytes.
+	ComputeSeconds, TransferSeconds float64
+	// IdleSeconds is time spent waiting at the per-micro-batch barrier for
+	// slower devices (split-parallel) or for the epoch makespan
+	// (batch-parallel) — the load-imbalance cost.
+	IdleSeconds float64
+	// OwnedBytes is the input-feature bytes the device loaded from the
+	// host for the shard inputs it owns.
+	OwnedBytes int64
+	// HaloInBytes and HaloOutBytes are the boundary feature bytes the
+	// device received from, and served to, peer devices.
+	HaloInBytes, HaloOutBytes int64
 	// PeakBytes is the device's peak memory during the epoch.
 	PeakBytes int64
 }
@@ -40,60 +106,64 @@ type DeviceLoad struct {
 // MultiEpochStats extends EpochStats with parallel-execution metrics.
 type MultiEpochStats struct {
 	EpochStats
-	// Makespan is the simulated wall time: the slowest device's time plus
-	// the gradient all-reduce.
+	// Devices is the device count the epoch ran on.
+	Devices int
+	// Makespan is the simulated wall time: the sum over micro-batches of
+	// the slowest device's shard time (cooperative barrier per micro-batch
+	// in split-parallel mode; the slowest device total in batch-parallel
+	// mode), plus the gradient all-reduce.
 	Makespan float64
-	// AllReduceSeconds is the simulated gradient synchronization time.
+	// AllReduceSeconds is the critical-path time of the gradient tree
+	// all-reduce; AllReduceBytes the total interconnect traffic it moved;
+	// AllReduceRounds its serialized round count.
 	AllReduceSeconds float64
+	AllReduceBytes   int64
+	AllReduceRounds  int
+	// HaloBytes is the total boundary feature traffic between devices and
+	// HaloSeconds the transfer time it cost. Betty's REG shard
+	// partitioning exists to minimize exactly this.
+	HaloBytes   int64
+	HaloSeconds float64
 	// PerDevice reports each device's share.
 	PerDevice []DeviceLoad
 }
 
-// TrainEpoch runs one gradient-accumulating epoch across the devices.
+// TrainEpoch runs one gradient-accumulating epoch across the devices and
+// applies a single optimizer step. The per-device planner budget is the
+// smallest device capacity; in split-parallel mode the memory planner uses
+// the split-aware peak (memory.SplitPeak), so K is chosen by what one
+// device's *shard* must hold, not the whole micro-batch.
 func (m *MultiDevice) TrainEpoch() (MultiEpochStats, error) {
 	var st MultiEpochStats
 	if len(m.Devices) == 0 {
 		return st, fmt.Errorf("core: multi-device training needs at least one device")
 	}
-	seeds := m.Engine.Runner.Data.TrainIdx
-	full, plan, err := m.Engine.PlanEpoch(seeds)
+	e := m.Engine
+	seeds := e.Runner.Data.TrainIdx
+
+	savedCap, savedPeak := e.PlanCapacity, e.PlanPeak
+	e.PlanCapacity = m.minCapacity()
+	if m.Mode == SplitParallel && len(m.Devices) > 1 {
+		e.PlanPeak = memory.SplitPeak(len(m.Devices))
+	}
+	full, plan, err := e.PlanEpoch(seeds)
+	e.PlanCapacity, e.PlanPeak = savedCap, savedPeak
 	if err != nil {
 		return st, err
 	}
-	st.K = plan.K
-	st.PlanAttempts = plan.Attempts
-	st.MaxEstimate = plan.MaxPeak
-	st.Redundancy = plan.Redundancy(full)
+	e.fillPlanStats(&st.EpochStats, full, plan)
+	st.Devices = len(m.Devices)
+	st.PerDevice = make([]DeviceLoad, len(m.Devices))
 
-	// Longest-processing-time greedy: sort micro-batches by estimated
-	// peak (a good proxy for their cost) and always give the next one to
-	// the least-loaded device.
-	order := make([]int, len(plan.Micro))
-	for i := range order {
-		order[i] = i
-	}
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && plan.Estimates[order[j]].Peak() > plan.Estimates[order[j-1]].Peak(); j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
-	assigned := make([][]int, len(m.Devices))
-	loadEst := make([]int64, len(m.Devices))
-	for _, mi := range order {
-		best := 0
-		for d := 1; d < len(m.Devices); d++ {
-			if loadEst[d] < loadEst[best] {
-				best = d
-			}
-		}
-		assigned[best] = append(assigned[best], mi)
-		loadEst[best] += plan.Estimates[mi].Peak()
-	}
+	sp := e.Obs.StartSpan(obs.PhaseMultiDev).
+		SetInt("devices", int64(len(m.Devices))).
+		SetInt("k", int64(plan.K)).
+		SetInt("mode", int64(m.Mode))
+	defer sp.End()
 
-	// Execute each device's share. The runner is sequential (one host), so
-	// per-device clocks are reset and measured independently; the epoch
-	// makespan is the slowest device.
-	runner := m.Engine.Runner
+	// The simulation swaps per-device replicas in and out of the runner;
+	// restore whatever device and resident set the engine had afterwards.
+	runner := e.Runner
 	savedDev := runner.Dev
 	savedResident := runner.DetachResident()
 	defer func() {
@@ -103,54 +173,364 @@ func (m *MultiDevice) TrainEpoch() (MultiEpochStats, error) {
 	if m.replicas == nil {
 		m.replicas = make(map[*device.Device][]*device.Buffer)
 	}
-	st.PerDevice = make([]DeviceLoad, len(m.Devices))
-	totalOut := len(seeds)
-	for d, dev := range m.Devices {
+	for _, dev := range m.Devices {
 		dev.ResetClocks()
 		dev.ResetPeak()
-		runner.Dev = dev
-		runner.AttachResident(m.replicas[dev])
-		for _, mi := range assigned[d] {
-			micro := plan.Micro[mi]
-			outs := micro[len(micro)-1].NumDst
-			res, err := runner.RunMicroBatch(micro, float32(outs)/float32(totalOut))
-			if err != nil {
-				return st, fmt.Errorf("core: device %d micro-batch %d: %w", d, mi, err)
-			}
-			st.Loss += res.Loss * float64(outs) / float64(totalOut)
-			st.TrainAcc += float64(res.Correct)
-			st.InputNodes += micro[0].NumSrc
-		}
-		m.replicas[dev] = runner.DetachResident()
-		load := DeviceLoad{
-			Batches:   len(assigned[d]),
-			Seconds:   dev.ComputeSeconds() + dev.TransferSeconds(),
-			PeakBytes: dev.Peak(),
-		}
-		st.PerDevice[d] = load
-		st.TransferSeconds += dev.TransferSeconds()
-		st.ComputeSeconds += dev.ComputeSeconds()
-		if load.Seconds > st.Makespan {
-			st.Makespan = load.Seconds
-		}
-		if load.PeakBytes > st.PeakBytes {
-			st.PeakBytes = load.PeakBytes
-		}
 	}
-	st.TrainAcc /= float64(totalOut)
+	if err := m.ensureReplicas(); err != nil {
+		return st, err
+	}
+	if m.Mode == BatchParallel {
+		err = m.simulateBatchParallel(plan, &st)
+	} else {
+		err = m.simulateSplitParallel(plan, &st)
+	}
+	if err != nil {
+		return st, err
+	}
 
-	// Ring all-reduce over the gradients: 2*(D-1)/D of the parameter bytes
-	// cross the interconnect per device.
+	// Canonical numerics, device-count independent: the same execution
+	// single-device training performs, in plan order. Its gradient fold is
+	// the result the simulated tree all-reduce delivers to every replica.
+	runner.Dev = nil
+	runner.AttachResident(nil)
+	if err := e.executePlan(plan, &st.EpochStats); err != nil {
+		return st, err
+	}
+	m.finishEpoch(&st)
+
 	if d := len(m.Devices); d > 1 {
-		bw := m.AllReduceBandwidth
-		if bw <= 0 {
-			bw = 50e9
-		}
-		paramBytes := float64(nn.ParamCount(runner.Model)) * 4
-		st.AllReduceSeconds = 2 * float64(d-1) / float64(d) * paramBytes / bw
+		paramBytes := int64(nn.ParamCount(runner.Model)) * 4
+		st.AllReduceSeconds, st.AllReduceBytes, st.AllReduceRounds =
+			m.interconnect().TreeAllReduce(d, paramBytes)
 		st.Makespan += st.AllReduceSeconds
 	}
 
 	runner.Step()
+	m.exportObs(&st)
+	sp.SetInt("halo_bytes", st.HaloBytes).
+		SetInt("allreduce_bytes", st.AllReduceBytes)
 	return st, nil
+}
+
+// interconnect returns the configured interconnect or the default.
+func (m *MultiDevice) interconnect() device.Interconnect {
+	if m.Interconnect.Bandwidth <= 0 {
+		return device.DefaultInterconnect()
+	}
+	return m.Interconnect
+}
+
+// minCapacity is the per-device planning budget.
+func (m *MultiDevice) minCapacity() int64 {
+	min := m.Devices[0].Capacity()
+	for _, d := range m.Devices[1:] {
+		if c := d.Capacity(); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// shardPartitioner resolves the partitioner that splits each micro-batch's
+// destinations across devices.
+func (m *MultiDevice) shardPartitioner() reg.BatchPartitioner {
+	if m.ShardPartitioner != nil {
+		return m.ShardPartitioner
+	}
+	return m.Engine.Partitioner
+}
+
+// ensureReplicas allocates each device's persistent model-state buffers
+// (parameters, gradients, optimizer states) if not already resident.
+func (m *MultiDevice) ensureReplicas() error {
+	runner := m.Engine.Runner
+	for d, dev := range m.Devices {
+		runner.Dev = dev
+		runner.AttachResident(m.replicas[dev])
+		if err := runner.EnsureResident(); err != nil {
+			runner.Dev = nil
+			return fmt.Errorf("core: device %d replica: %w", d, err)
+		}
+		m.replicas[dev] = runner.DetachResident()
+	}
+	runner.Dev = nil
+	return nil
+}
+
+// shardCharge replays one shard (or whole micro-batch) on a device: ledger
+// allocations for the transient tensors, host transfers for owned inputs
+// plus labels and block structure, halo receives for peer-owned inputs,
+// and compute time from a measured gradient-free forward. haloByOwner maps
+// owning-device index to received feature bytes (nil when everything is
+// host-loaded). It returns the activation estimate error or OOM unchanged
+// so callers can surface which device and shard hit capacity.
+func (m *MultiDevice) shardCharge(d int, shard []*graph.Block, ownedBytes int64, haloByOwner []int64, load *DeviceLoad, st *MultiEpochStats) error {
+	runner := m.Engine.Runner
+	dev := m.Devices[d]
+	stats := graph.Stats(shard)
+	featBytes := int64(runner.Data.FeatureDim()) * 4
+
+	fc, err := runner.MeasureForward(shard)
+	if err != nil {
+		return err
+	}
+	var transient []*device.Buffer
+	free := func() {
+		for _, b := range transient {
+			dev.Free(b)
+		}
+	}
+	charge := func(bytes int64, label string) error {
+		if bytes == 0 {
+			return nil
+		}
+		buf, err := dev.Alloc(bytes, label)
+		if err != nil {
+			free()
+			return err
+		}
+		transient = append(transient, buf)
+		return nil
+	}
+	inputBytes := int64(stats.NumInput) * featBytes
+	labelBytes := int64(stats.NumOutput) * 4
+	blockBytes := int64(stats.TotalEdges) * 3 * 4
+	if err := charge(inputBytes, "input-features"); err != nil {
+		return err
+	}
+	if err := charge(labelBytes, "labels"); err != nil {
+		return err
+	}
+	if err := charge(blockBytes, "blocks"); err != nil {
+		return err
+	}
+	dev.Transfer(ownedBytes)
+	dev.Transfer(labelBytes)
+	dev.Transfer(blockBytes)
+	load.OwnedBytes += ownedBytes
+	ic := m.interconnect()
+	for owner, bytes := range haloByOwner {
+		if bytes == 0 || owner == d {
+			continue
+		}
+		st.HaloSeconds += dev.Exchange(bytes, ic)
+		st.HaloBytes += bytes
+		load.HaloInBytes += bytes
+		st.PerDevice[owner].HaloOutBytes += bytes
+	}
+	if err := charge(fc.ActivationBytes, "activations"); err != nil {
+		return fmt.Errorf("forward activations: %w", err)
+	}
+	// forward + backward issue roughly three kernels per recorded op,
+	// matching the single-device accounting in RunMicroBatch.
+	dev.ComputeKernels(fc.Flops, 3*fc.Ops)
+	load.Batches++
+	free()
+	return nil
+}
+
+// busy returns a device's accumulated busy seconds.
+func busy(dev *device.Device) float64 {
+	return dev.ComputeSeconds() + dev.TransferSeconds()
+}
+
+// simulateSplitParallel replays the epoch under split-parallelism: each
+// micro-batch's destination set is partitioned into one shard per device,
+// shards execute cooperatively (a barrier per micro-batch), and boundary
+// inputs move between devices instead of being re-loaded from the host.
+func (m *MultiDevice) simulateSplitParallel(plan *memory.Plan, st *MultiEpochStats) error {
+	e := m.Engine
+	featBytes := int64(e.Runner.Data.FeatureDim()) * 4
+	nDev := len(m.Devices)
+	prevBusy := make([]float64, nDev)
+	for d, dev := range m.Devices {
+		prevBusy[d] = busy(dev)
+	}
+	for mi, micro := range plan.Micro {
+		last := micro[len(micro)-1]
+		shards, err := m.splitMicro(micro, mi)
+		if err != nil {
+			return err
+		}
+		msp := e.Obs.StartSpan(obs.PhaseShard).
+			SetInt("micro", int64(mi)).
+			SetInt("shards", int64(len(shards))).
+			SetInt("outputs", int64(last.NumDst))
+
+		// Ownership: walking devices in index order, the first shard that
+		// references an input node owns it and loads it from the host;
+		// every later reference is a halo receive from that owner. The
+		// walk order is deterministic, so ownership — and with it every
+		// byte of simulated traffic — is too.
+		owner := make(map[int32]int, micro[0].NumSrc)
+		for g := range shards {
+			for _, nid := range shards[g][0].SrcNID {
+				if _, ok := owner[nid]; !ok {
+					owner[nid] = g
+				}
+			}
+		}
+		haloBefore := st.HaloBytes
+		for g := range shards {
+			haloByOwner := make([]int64, len(shards))
+			var ownedBytes int64
+			for _, nid := range shards[g][0].SrcNID {
+				if o := owner[nid]; o == g {
+					ownedBytes += featBytes
+				} else {
+					haloByOwner[o] += featBytes
+				}
+			}
+			if err := m.shardCharge(g, shards[g], ownedBytes, haloByOwner, &st.PerDevice[g], st); err != nil {
+				msp.End()
+				return fmt.Errorf("core: device %d shard of micro-batch %d: %w", g, mi, err)
+			}
+		}
+		// Cooperative barrier: the micro-batch finishes when its slowest
+		// shard does; faster devices idle for the difference.
+		var microMax float64
+		deltas := make([]float64, nDev)
+		for d, dev := range m.Devices {
+			deltas[d] = busy(dev) - prevBusy[d]
+			if deltas[d] > microMax {
+				microMax = deltas[d]
+			}
+		}
+		for d, dev := range m.Devices {
+			st.PerDevice[d].IdleSeconds += microMax - deltas[d]
+			prevBusy[d] = busy(dev)
+		}
+		st.Makespan += microMax
+		msp.SetInt("halo_bytes", st.HaloBytes-haloBefore)
+		msp.End()
+	}
+	return nil
+}
+
+// splitMicro partitions one micro-batch's destinations into at most one
+// shard per device and slices the shard block lists. A single shard (one
+// device, or a micro-batch with one output) reuses the micro-batch blocks
+// unsliced, so the one-device simulation charges exactly what single-device
+// training charges. Partitioners that cannot produce the requested group
+// count on a tiny REG (an empty part) fall back to range splitting.
+func (m *MultiDevice) splitMicro(micro []*graph.Block, mi int) ([][]*graph.Block, error) {
+	last := micro[len(micro)-1]
+	n := len(m.Devices)
+	if last.NumDst < n {
+		n = last.NumDst
+	}
+	if n == 1 {
+		return [][]*graph.Block{micro}, nil
+	}
+	groups, err := m.shardPartitioner().PartitionBatch(last, n)
+	if err != nil {
+		m.Engine.Obs.Add("multidev.shard_fallbacks", 1)
+		groups, err = reg.RangeBatch{}.PartitionBatch(last, n)
+		if err != nil {
+			return nil, fmt.Errorf("core: sharding micro-batch %d: %w", mi, err)
+		}
+	}
+	shards := make([][]*graph.Block, len(groups))
+	for g, sel := range groups {
+		shards[g], err = graph.SliceBatch(micro, sel)
+		if err != nil {
+			return nil, fmt.Errorf("core: slicing shard %d of micro-batch %d: %w", g, mi, err)
+		}
+	}
+	return shards, nil
+}
+
+// lptOrder returns micro-batch indices sorted by estimated peak descending,
+// index ascending on ties — the deterministic longest-processing-time order
+// the batch-parallel scheduler consumes.
+func lptOrder(estimates []memory.Breakdown) []int {
+	order := make([]int, len(estimates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		pi, pj := estimates[order[i]].Peak(), estimates[order[j]].Peak()
+		if pi != pj {
+			return pi > pj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// simulateBatchParallel replays the epoch under the data-parallel baseline:
+// whole micro-batches are assigned to devices by LPT greedy scheduling
+// (largest estimated peak first, always to the least-loaded device, lowest
+// index on ties) and every input is loaded from the host — no halo
+// exchange, but also no per-device memory relief beyond the assignment.
+func (m *MultiDevice) simulateBatchParallel(plan *memory.Plan, st *MultiEpochStats) error {
+	nDev := len(m.Devices)
+	assigned := make([][]int, nDev)
+	loadEst := make([]int64, nDev)
+	for _, mi := range lptOrder(plan.Estimates) {
+		best := 0
+		for d := 1; d < nDev; d++ {
+			if loadEst[d] < loadEst[best] {
+				best = d
+			}
+		}
+		assigned[best] = append(assigned[best], mi)
+		loadEst[best] += plan.Estimates[mi].Peak()
+	}
+	featBytes := int64(m.Engine.Runner.Data.FeatureDim()) * 4
+	for d := range m.Devices {
+		before := busy(m.Devices[d])
+		for _, mi := range assigned[d] {
+			micro := plan.Micro[mi]
+			ownedBytes := int64(micro[0].NumSrc) * featBytes
+			if err := m.shardCharge(d, micro, ownedBytes, nil, &st.PerDevice[d], st); err != nil {
+				return fmt.Errorf("core: device %d micro-batch %d: %w", d, mi, err)
+			}
+		}
+		if t := busy(m.Devices[d]) - before; t > st.Makespan {
+			st.Makespan = t
+		}
+	}
+	for d, dev := range m.Devices {
+		st.PerDevice[d].IdleSeconds = st.Makespan - busy(dev)
+	}
+	return nil
+}
+
+// finishEpoch folds the device clocks and peaks into the epoch stats.
+func (m *MultiDevice) finishEpoch(st *MultiEpochStats) {
+	st.TransferSeconds, st.ComputeSeconds = 0, 0
+	for d, dev := range m.Devices {
+		load := &st.PerDevice[d]
+		load.ComputeSeconds = dev.ComputeSeconds()
+		load.TransferSeconds = dev.TransferSeconds()
+		load.Seconds = load.ComputeSeconds + load.TransferSeconds
+		load.PeakBytes = dev.Peak()
+		st.TransferSeconds += load.TransferSeconds
+		st.ComputeSeconds += load.ComputeSeconds
+		if load.PeakBytes > st.PeakBytes {
+			st.PeakBytes = load.PeakBytes
+		}
+	}
+}
+
+// exportObs publishes the epoch's multi-device gauges and counters.
+func (m *MultiDevice) exportObs(st *MultiEpochStats) {
+	o := m.Engine.Obs
+	o.Add("multidev.epochs", 1)
+	o.Add("multidev.halo_bytes", st.HaloBytes)
+	o.Add("multidev.allreduce_bytes", st.AllReduceBytes)
+	o.Set("multidev.devices", int64(st.Devices))
+	o.Set("multidev.makespan_us", int64(st.Makespan*1e6))
+	o.Set("multidev.allreduce_us", int64(st.AllReduceSeconds*1e6))
+	for d, load := range st.PerDevice {
+		prefix := fmt.Sprintf("multidev.d%d.", d)
+		o.Set(prefix+"compute_us", int64(load.ComputeSeconds*1e6))
+		o.Set(prefix+"transfer_us", int64(load.TransferSeconds*1e6))
+		o.Set(prefix+"idle_us", int64(load.IdleSeconds*1e6))
+		o.Set(prefix+"halo_in_bytes", load.HaloInBytes)
+		o.Set(prefix+"halo_out_bytes", load.HaloOutBytes)
+		o.Set(prefix+"peak_bytes", load.PeakBytes)
+	}
 }

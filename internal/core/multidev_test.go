@@ -4,10 +4,14 @@ import (
 	"math"
 	"testing"
 
+	"betty/internal/dataset"
 	"betty/internal/device"
+	"betty/internal/memory"
+	"betty/internal/nn"
+	"betty/internal/tensor"
 )
 
-func multiSetup(t *testing.T, numDevices, k int) (*Setup, *MultiDevice) {
+func multiSetupCost(t *testing.T, numDevices, k int, cm device.CostModel) (*Setup, *MultiDevice) {
 	t.Helper()
 	d := testData(t)
 	s, err := BuildSAGE(d, Options{Seed: 20, Hidden: 16, Fanouts: []int{5, 5}, FixedK: k})
@@ -16,9 +20,53 @@ func multiSetup(t *testing.T, numDevices, k int) (*Setup, *MultiDevice) {
 	}
 	devs := make([]*device.Device, numDevices)
 	for i := range devs {
-		devs[i] = device.New(device.GiB, device.DefaultCostModel())
+		devs[i] = device.New(device.GiB, cm)
 	}
 	return s, &MultiDevice{Engine: s.Engine, Devices: devs}
+}
+
+func multiSetup(t *testing.T, numDevices, k int) (*Setup, *MultiDevice) {
+	t.Helper()
+	return multiSetupCost(t, numDevices, k, device.DefaultCostModel())
+}
+
+// maskedCoreData is the masked-label fixture: every third node is
+// unlabeled (label < 0), mirroring the train-package fixture.
+func maskedCoreData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := testData(t)
+	for i := range d.Labels {
+		if i%3 == 0 {
+			d.Labels[i] = -1
+		}
+	}
+	return d
+}
+
+// recordingOpt wraps an optimizer and snapshots every parameter gradient
+// at Step time — the merged gradient every replica holds after the
+// simulated all-reduce, immediately before the update is applied.
+type recordingOpt struct {
+	nn.Optimizer
+	params []*tensor.Var
+	grads  [][]float32
+}
+
+func (r *recordingOpt) Step() {
+	var snap []float32
+	for _, p := range r.params {
+		if p.Grad != nil {
+			snap = append(snap, p.Grad.Data...)
+		}
+	}
+	r.grads = append(r.grads, snap)
+	r.Optimizer.Step()
+}
+
+func recordGrads(s *Setup) *recordingOpt {
+	ro := &recordingOpt{Optimizer: s.Engine.Runner.Opt, params: s.Model.Params()}
+	s.Engine.Runner.Opt = ro
+	return ro
 }
 
 func TestMultiDeviceBasics(t *testing.T) {
@@ -30,21 +78,27 @@ func TestMultiDeviceBasics(t *testing.T) {
 	if st.K != 8 {
 		t.Fatalf("K = %d", st.K)
 	}
-	if len(st.PerDevice) != 2 {
+	if st.Devices != 2 || len(st.PerDevice) != 2 {
 		t.Fatal("missing per-device loads")
 	}
-	total := 0
-	for _, l := range st.PerDevice {
-		total += l.Batches
-		if l.Batches > 0 && l.PeakBytes == 0 {
-			t.Fatal("device executed batches but recorded no peak")
+	for d, l := range st.PerDevice {
+		// Split-parallelism: every device executes one shard of every
+		// micro-batch.
+		if l.Batches != 8 {
+			t.Fatalf("device %d executed %d of 8 shards", d, l.Batches)
+		}
+		if l.PeakBytes == 0 {
+			t.Fatalf("device %d executed shards but recorded no peak", d)
+		}
+		if l.Seconds <= 0 || l.OwnedBytes <= 0 {
+			t.Fatalf("device %d has no simulated work: %+v", d, l)
 		}
 	}
-	if total != 8 {
-		t.Fatalf("devices executed %d of 8 micro-batches", total)
+	if st.HaloBytes <= 0 {
+		t.Fatal("split-parallel epoch exchanged no halo features")
 	}
-	if st.AllReduceSeconds <= 0 {
-		t.Fatal("no all-reduce cost for 2 devices")
+	if st.AllReduceSeconds <= 0 || st.AllReduceBytes <= 0 || st.AllReduceRounds <= 0 {
+		t.Fatalf("no all-reduce cost for 2 devices: %+v", st)
 	}
 	if st.Makespan < st.AllReduceSeconds {
 		t.Fatal("makespan excludes all-reduce")
@@ -59,15 +113,18 @@ func TestMultiDeviceNeedsDevices(t *testing.T) {
 	}
 }
 
-// Two devices must beat one on makespan for a parallel-friendly K, because
-// the per-device execution time roughly halves.
+// Four devices must beat one on makespan once fixed launch/transfer
+// latencies are out of the picture: shard flops and host bytes divide
+// across the devices, and the halo moves over the faster interconnect.
 func TestMultiDeviceSpeedup(t *testing.T) {
-	_, md1 := multiSetup(t, 1, 8)
+	cm := device.CostModel{H2DBandwidth: 12e9, Throughput: 5e12}
+	_, md1 := multiSetupCost(t, 1, 8, cm)
 	st1, err := md1.TrainEpoch()
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, md4 := multiSetup(t, 4, 8)
+	_, md4 := multiSetupCost(t, 4, 8, cm)
+	md4.Interconnect = device.Interconnect{Bandwidth: 50e9}
 	st4, err := md4.TrainEpoch()
 	if err != nil {
 		t.Fatal(err)
@@ -77,40 +134,141 @@ func TestMultiDeviceSpeedup(t *testing.T) {
 	}
 }
 
-// Multi-device training is mathematically identical to single-engine
-// micro-batch training: parameters after one epoch must match.
-func TestMultiDeviceGradientEquivalence(t *testing.T) {
+// multiTrace runs two multi-device epochs over n devices and returns the
+// per-epoch loss/accuracy scalars, every recorded post-all-reduce
+// gradient, and the final parameters.
+func multiTrace(t *testing.T, n int, mode MultiDeviceMode) ([]float64, [][]float32, []float32) {
+	t.Helper()
 	d := testData(t)
-	single, err := BuildSAGE(d, Options{Seed: 21, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 6})
+	s, err := BuildSAGE(d, Options{Seed: 21, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := single.Engine.TrainEpochMicro(); err != nil {
+	ro := recordGrads(s)
+	devs := make([]*device.Device, n)
+	for i := range devs {
+		devs[i] = device.New(device.GiB, device.DefaultCostModel())
+	}
+	md := &MultiDevice{Engine: s.Engine, Devices: devs, Mode: mode}
+	var scalars []float64
+	for e := 0; e < 2; e++ {
+		st, err := md.TrainEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalars = append(scalars, st.Loss, st.TrainAcc)
+	}
+	var params []float32
+	for _, p := range s.Model.Params() {
+		params = append(params, p.Value.Data...)
+	}
+	return scalars, ro.grads, params
+}
+
+// singleTrace is the reference: the same model trained by the plain
+// single-device micro-batch epoch.
+func singleTrace(t *testing.T) ([]float64, [][]float32, []float32) {
+	t.Helper()
+	d := testData(t)
+	s, err := BuildSAGE(d, Options{Seed: 21, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 6})
+	if err != nil {
 		t.Fatal(err)
 	}
+	ro := recordGrads(s)
+	var scalars []float64
+	for e := 0; e < 2; e++ {
+		st, err := s.Engine.TrainEpochMicro()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalars = append(scalars, st.Loss, st.TrainAcc)
+	}
+	var params []float32
+	for _, p := range s.Model.Params() {
+		params = append(params, p.Value.Data...)
+	}
+	return scalars, ro.grads, params
+}
 
-	multi, err := BuildSAGE(d, Options{Seed: 21, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 6})
+func compareGradTraces(t *testing.T, label string, g1, g2 [][]float32) {
+	t.Helper()
+	if len(g1) != len(g2) {
+		t.Fatalf("%s: %d vs %d optimizer steps", label, len(g1), len(g2))
+	}
+	for s := range g1 {
+		if len(g1[s]) != len(g2[s]) {
+			t.Fatalf("%s: step %d gradient sizes differ", label, s)
+		}
+		for i := range g1[s] {
+			if math.Float32bits(g1[s][i]) != math.Float32bits(g2[s][i]) {
+				t.Fatalf("%s: step %d gradient %d differs: %v vs %v",
+					label, s, i, g1[s][i], g2[s][i])
+			}
+		}
+	}
+}
+
+// TestMultiDeviceBitwiseIdentical pins the split-parallel determinism
+// claim: at every tested device count the per-epoch losses and accuracies,
+// the merged gradients after the all-reduce, and the post-step parameters
+// are bitwise identical to single-device micro-batch training.
+func TestMultiDeviceBitwiseIdentical(t *testing.T) {
+	sRef, gRef, pRef := singleTrace(t)
+	for _, n := range []int{1, 2, 4, 8} {
+		sN, gN, pN := multiTrace(t, n, SplitParallel)
+		label := "single vs " + string(rune('0'+n)) + " devices"
+		compareTraces(t, label, sRef, sN, pRef, pN)
+		compareGradTraces(t, label, gRef, gN)
+	}
+}
+
+// TestMultiDeviceBatchParallelBitwise pins the same claim for the
+// batch-parallel baseline mode: scheduling whole micro-batches onto
+// devices changes no numerical result either.
+func TestMultiDeviceBatchParallelBitwise(t *testing.T) {
+	sRef, gRef, pRef := singleTrace(t)
+	sB, gB, pB := multiTrace(t, 3, BatchParallel)
+	compareTraces(t, "single vs batch-parallel", sRef, sB, pRef, pB)
+	compareGradTraces(t, "single vs batch-parallel", gRef, gB)
+}
+
+// TestMultiDeviceMaskedAccuracy is the masked-label fixture for the
+// accuracy-accounting fix: with a third of the nodes unlabeled, the
+// multi-device epoch accuracy must equal the single-device accuracy
+// bitwise — both divide by the labeled-output count. The pre-fix code
+// divided by the full seed count (and weighted micro losses by raw
+// destination counts), so it fails this test.
+func TestMultiDeviceMaskedAccuracy(t *testing.T) {
+	d := maskedCoreData(t)
+	single, err := BuildSAGE(d, Options{Seed: 23, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stS, err := single.Engine.TrainEpochMicro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := BuildSAGE(d, Options{Seed: 23, Hidden: 16, Fanouts: []int{5, 5}, FixedK: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	devs := []*device.Device{
 		device.New(device.GiB, device.DefaultCostModel()),
 		device.New(device.GiB, device.DefaultCostModel()),
-		device.New(device.GiB, device.DefaultCostModel()),
 	}
 	md := &MultiDevice{Engine: multi.Engine, Devices: devs}
-	if _, err := md.TrainEpoch(); err != nil {
+	stM, err := md.TrainEpoch()
+	if err != nil {
 		t.Fatal(err)
 	}
-
-	ps, pm := single.Model.Params(), multi.Model.Params()
-	for i := range ps {
-		for j := range ps[i].Value.Data {
-			a, b := float64(ps[i].Value.Data[j]), float64(pm[i].Value.Data[j])
-			if math.Abs(a-b) > 1e-4*(1+math.Abs(a)) {
-				t.Fatalf("param %d elem %d: single %v vs multi %v", i, j, a, b)
-			}
-		}
+	if stM.TrainAcc <= 0 || stM.TrainAcc > 1 {
+		t.Fatalf("masked multi-device accuracy %v outside (0, 1]", stM.TrainAcc)
+	}
+	if math.Float64bits(stM.TrainAcc) != math.Float64bits(stS.TrainAcc) {
+		t.Fatalf("masked accuracy: multi %v vs single %v", stM.TrainAcc, stS.TrainAcc)
+	}
+	if math.Float64bits(stM.Loss) != math.Float64bits(stS.Loss) {
+		t.Fatalf("masked loss: multi %v vs single %v", stM.Loss, stS.Loss)
 	}
 }
 
@@ -146,9 +304,42 @@ func TestMultiDeviceOOM(t *testing.T) {
 	}
 }
 
-// The LPT scheduler must keep the device loads within a reasonable band.
-func TestMultiDeviceBalance(t *testing.T) {
+// Every halo byte received by one device was sent by another: the in/out
+// tallies must agree with each other and with the epoch total, and the
+// host loads must cover each micro-batch's distinct inputs exactly once.
+func TestMultiDeviceHaloConservation(t *testing.T) {
+	_, md := multiSetup(t, 4, 8)
+	st, err := md.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, out int64
+	for _, l := range st.PerDevice {
+		in += l.HaloInBytes
+		out += l.HaloOutBytes
+	}
+	if in != out || in != st.HaloBytes {
+		t.Fatalf("halo bytes: in %d, out %d, total %d", in, out, st.HaloBytes)
+	}
+	if st.HaloBytes <= 0 || st.HaloSeconds <= 0 {
+		t.Fatal("4-device split-parallel epoch exchanged no halo")
+	}
+	var owned int64
+	for _, l := range st.PerDevice {
+		owned += l.OwnedBytes
+	}
+	featBytes := int64(md.Engine.Runner.Data.FeatureDim()) * 4
+	want := int64(st.InputNodes) * featBytes
+	if owned != want {
+		t.Fatalf("owned host loads %d, want %d (distinct inputs once each)", owned, want)
+	}
+}
+
+// The batch-parallel LPT schedule must keep device loads in a reasonable
+// band and must not exchange halos (every input is host-loaded).
+func TestMultiDeviceBatchParallelBalance(t *testing.T) {
 	_, md := multiSetup(t, 2, 16)
+	md.Mode = BatchParallel
 	st, err := md.TrainEpoch()
 	if err != nil {
 		t.Fatal(err)
@@ -159,5 +350,24 @@ func TestMultiDeviceBalance(t *testing.T) {
 	}
 	if a < 4 || b < 4 {
 		t.Fatalf("grossly imbalanced schedule: %d vs %d", a, b)
+	}
+	if st.HaloBytes != 0 {
+		t.Fatalf("batch-parallel mode exchanged %d halo bytes", st.HaloBytes)
+	}
+}
+
+// lptOrder must sort by peak descending with the micro-batch index as a
+// deterministic tiebreak — the insertion-sort replacement keeps the exact
+// order the old scheduler produced.
+func TestLPTOrderDeterministic(t *testing.T) {
+	est := []memory.Breakdown{
+		{Params: 5}, {Params: 9}, {Params: 5}, {Params: 9}, {Params: 1},
+	}
+	got := lptOrder(est)
+	want := []int{1, 3, 0, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lptOrder = %v, want %v", got, want)
+		}
 	}
 }

@@ -1,0 +1,94 @@
+package device
+
+// Interconnect models the device-to-device link of a multi-accelerator
+// node: peer copies bypass the host, so they run at NVLink-class bandwidth
+// instead of the PCIe host link. Split-parallel training uses it for two
+// kinds of traffic: halo (boundary) feature exchange between micro-batch
+// shards and the gradient all-reduce that closes an epoch.
+type Interconnect struct {
+	// Bandwidth is the peer-to-peer copy bandwidth in bytes/second.
+	Bandwidth float64
+	// Latency is the fixed per-message setup cost in seconds.
+	Latency float64
+}
+
+// DefaultInterconnect returns the interconnect used by all experiments:
+// an NVLink-class 50 GB/s link with a 5 us message latency.
+func DefaultInterconnect() Interconnect {
+	return Interconnect{Bandwidth: 50e9, Latency: 5e-6}
+}
+
+// TransferTime returns the simulated seconds to move n bytes peer-to-peer.
+func (ic Interconnect) TransferTime(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	bw := ic.Bandwidth
+	if bw <= 0 {
+		bw = DefaultInterconnect().Bandwidth
+	}
+	return ic.Latency + float64(n)/bw
+}
+
+// TreeAllReduce returns the simulated cost of a deterministic binomial-tree
+// all-reduce of n bytes across d devices: seconds of critical-path time,
+// the total bytes that cross the interconnect, and the number of serialized
+// rounds. The schedule is reduce-up-the-tree then broadcast-down (see
+// TreeReduceSchedule); each phase runs ceil(log2 d) rounds whose transfers
+// proceed in parallel, and every round moves n bytes per participating
+// pair, so the total traffic is 2*(d-1)*n.
+func (ic Interconnect) TreeAllReduce(d int, n int64) (seconds float64, totalBytes int64, rounds int) {
+	if d <= 1 || n <= 0 {
+		return 0, 0, 0
+	}
+	levels := treeLevels(d)
+	rounds = 2 * levels // reduce + broadcast
+	seconds = float64(rounds) * ic.TransferTime(n)
+	totalBytes = 2 * int64(d-1) * n
+	return seconds, totalBytes, rounds
+}
+
+// treeLevels returns ceil(log2 d) without floating point.
+func treeLevels(d int) int {
+	levels := 0
+	for span := 1; span < d; span *= 2 {
+		levels++
+	}
+	return levels
+}
+
+// TreeReduceSchedule returns the deterministic pairing of the reduce phase:
+// one slice per round, each holding (src, dst) device pairs where src sends
+// its n bytes to dst and dst folds src's contribution into its own. Round r
+// uses stride 2^r: device i with i mod 2^(r+1) == 2^r sends to i - 2^r.
+// After the last round device 0 holds the fold of every device's
+// contribution in a fixed order, which is what makes the merge
+// deterministic at any device count. The broadcast phase mirrors the same
+// pairs in reverse round order.
+func TreeReduceSchedule(d int) [][][2]int {
+	if d <= 1 {
+		return nil
+	}
+	var schedule [][][2]int
+	for stride := 1; stride < d; stride *= 2 {
+		var round [][2]int
+		for dst := 0; dst+stride < d; dst += 2 * stride {
+			round = append(round, [2]int{dst + stride, dst})
+		}
+		schedule = append(schedule, round)
+	}
+	return schedule
+}
+
+// Exchange accounts a peer-to-peer copy of n bytes received by this device
+// over the interconnect and returns the simulated seconds it took. The
+// time accrues to the device's transfer clock and the bytes to its traffic
+// counter, alongside host-to-device copies.
+func (d *Device) Exchange(n int64, ic Interconnect) float64 {
+	t := ic.TransferTime(n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.transferTime += t
+	d.transferred += n
+	return t
+}

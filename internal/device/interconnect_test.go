@@ -1,0 +1,105 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInterconnectTransferTime(t *testing.T) {
+	ic := Interconnect{Bandwidth: 50e9, Latency: 5e-6}
+	if got := ic.TransferTime(0); got != 0 {
+		t.Fatalf("zero bytes cost %v", got)
+	}
+	want := 5e-6 + 1e6/50e9
+	if got := ic.TransferTime(1e6); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TransferTime(1e6) = %v, want %v", got, want)
+	}
+	// A zero-value interconnect falls back to the default bandwidth
+	// instead of dividing by zero.
+	if got := (Interconnect{}).TransferTime(1e6); math.IsInf(got, 0) || got <= 0 {
+		t.Fatalf("zero-value interconnect time = %v", got)
+	}
+}
+
+func TestTreeAllReduce(t *testing.T) {
+	ic := DefaultInterconnect()
+	if s, b, r := ic.TreeAllReduce(1, 1<<20); s != 0 || b != 0 || r != 0 {
+		t.Fatalf("single device all-reduce cost %v/%d/%d", s, b, r)
+	}
+	for _, tc := range []struct {
+		d, rounds int
+		bytes     int64
+	}{
+		{2, 2, 2 * 1 << 20},
+		{3, 4, 4 * 1 << 20},
+		{4, 4, 6 * 1 << 20},
+		{8, 6, 14 * 1 << 20},
+	} {
+		s, b, r := ic.TreeAllReduce(tc.d, 1<<20)
+		if r != tc.rounds {
+			t.Fatalf("d=%d rounds = %d, want %d", tc.d, r, tc.rounds)
+		}
+		if b != tc.bytes {
+			t.Fatalf("d=%d total bytes = %d, want %d", tc.d, b, tc.bytes)
+		}
+		want := float64(r) * ic.TransferTime(1<<20)
+		if math.Abs(s-want) > 1e-12 {
+			t.Fatalf("d=%d seconds = %v, want %v", tc.d, s, want)
+		}
+	}
+}
+
+// Every device's contribution must reach device 0 exactly once, along a
+// deterministic pairing: the schedule is what makes the simulated gradient
+// merge bitwise reproducible at any device count.
+func TestTreeReduceSchedule(t *testing.T) {
+	if s := TreeReduceSchedule(1); s != nil {
+		t.Fatalf("single device schedule %v", s)
+	}
+	for d := 2; d <= 9; d++ {
+		sched := TreeReduceSchedule(d)
+		if len(sched) != treeLevels(d) {
+			t.Fatalf("d=%d: %d rounds, want %d", d, len(sched), treeLevels(d))
+		}
+		sent := make([]bool, d)
+		pairs := 0
+		for _, round := range sched {
+			for _, p := range round {
+				src, dst := p[0], p[1]
+				if src <= dst || src >= d || dst < 0 {
+					t.Fatalf("d=%d: bad pair %v", d, p)
+				}
+				if sent[src] {
+					t.Fatalf("d=%d: device %d sends twice", d, src)
+				}
+				if sent[dst] {
+					t.Fatalf("d=%d: device %d receives after sending", d, dst)
+				}
+				sent[src] = true
+				pairs++
+			}
+		}
+		// every device except the root sends exactly once
+		if pairs != d-1 {
+			t.Fatalf("d=%d: %d sends, want %d", d, pairs, d-1)
+		}
+		if sent[0] {
+			t.Fatal("root sent its contribution away")
+		}
+	}
+}
+
+func TestDeviceExchange(t *testing.T) {
+	d := New(GiB, DefaultCostModel())
+	ic := Interconnect{Bandwidth: 50e9, Latency: 5e-6}
+	sec := d.Exchange(1<<20, ic)
+	if want := ic.TransferTime(1 << 20); math.Abs(sec-want) > 1e-12 {
+		t.Fatalf("Exchange returned %v, want %v", sec, want)
+	}
+	if math.Abs(d.TransferSeconds()-sec) > 1e-12 {
+		t.Fatalf("transfer clock %v, want %v", d.TransferSeconds(), sec)
+	}
+	if d.BytesTransferred() != 1<<20 {
+		t.Fatalf("transferred %d bytes", d.BytesTransferred())
+	}
+}

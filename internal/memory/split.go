@@ -1,0 +1,30 @@
+package memory
+
+// SplitPeak returns a Planner peak functional for split-parallel
+// multi-device execution (GSplit-style): every planned micro-batch is
+// itself partitioned across the devices, so a single device holds only its
+// shard of the batch data while the model state is fully replicated.
+//
+// Replicated per device: parameters, optimizer states, and the gradient
+// accumulator (every device folds a full-width gradient). Divided across
+// devices: input features, labels, block structure, per-layer hidden
+// outputs, and the aggregator working set. The division uses the ceiling
+// share, which a balanced partition achieves to within one node; shard
+// imbalance and halo duplication beyond that are absorbed by the planner's
+// SafetyMargin, exactly like the estimator's other modeling error.
+func SplitPeak(devices int) func(Breakdown) int64 {
+	return func(b Breakdown) int64 {
+		if devices <= 1 {
+			return b.Peak()
+		}
+		d := int64(devices)
+		share := func(v int64) int64 { return (v + d - 1) / d }
+		stable := b.Params + b.OptStates +
+			share(b.InputFeatures) + share(b.Labels) + share(b.Blocks) + share(b.Hidden)
+		transient := share(b.Aggregator)
+		if b.Gradients > transient {
+			transient = b.Gradients
+		}
+		return stable + transient
+	}
+}

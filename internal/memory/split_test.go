@@ -1,0 +1,45 @@
+package memory
+
+import "testing"
+
+func TestSplitPeakSingleDevice(t *testing.T) {
+	b := Breakdown{Params: 100, OptStates: 200, InputFeatures: 400,
+		Labels: 40, Blocks: 120, Hidden: 80, Aggregator: 60, Gradients: 100}
+	if got := SplitPeak(1)(b); got != b.Peak() {
+		t.Fatalf("SplitPeak(1) = %d, want Peak %d", got, b.Peak())
+	}
+	if got := SplitPeak(0)(b); got != b.Peak() {
+		t.Fatalf("SplitPeak(0) = %d, want Peak %d", got, b.Peak())
+	}
+}
+
+func TestSplitPeakDividesShardedComponents(t *testing.T) {
+	b := Breakdown{Params: 100, OptStates: 200, InputFeatures: 400,
+		Labels: 40, Blocks: 120, Hidden: 80, Aggregator: 60, Gradients: 100}
+	// Params, OptStates, Gradients are replicated per device; the batch
+	// tensors divide (ceiling) across 4 devices. Gradients (100) exceed
+	// the divided aggregator working set (15), so they are the transient.
+	want := int64(100+200) + int64(400+40+120+80)/4 + 100
+	if got := SplitPeak(4)(b); got != want {
+		t.Fatalf("SplitPeak(4) = %d, want %d", got, want)
+	}
+	// Odd sizes round up, never down.
+	odd := Breakdown{InputFeatures: 10}
+	if got := SplitPeak(3)(odd); got != 4 {
+		t.Fatalf("ceiling division: got %d, want 4", got)
+	}
+}
+
+// More devices never need more per-device memory.
+func TestSplitPeakMonotone(t *testing.T) {
+	b := Breakdown{Params: 123, OptStates: 246, InputFeatures: 4001,
+		Labels: 401, Blocks: 1203, Hidden: 803, Aggregator: 2999, Gradients: 123}
+	prev := SplitPeak(1)(b)
+	for d := 2; d <= 16; d++ {
+		cur := SplitPeak(d)(b)
+		if cur > prev {
+			t.Fatalf("SplitPeak(%d) = %d > SplitPeak(%d) = %d", d, cur, d-1, prev)
+		}
+		prev = cur
+	}
+}

@@ -48,6 +48,8 @@ const (
 	PhaseEval      = "eval"      // chunked evaluation
 	PhaseEnqueue   = "enqueue"   // serving request admission (internal/serve)
 	PhaseBatch     = "batch"     // serving batch execution (internal/serve)
+	PhaseMultiDev  = "multidev"  // multi-device epoch (core.MultiDevice)
+	PhaseShard     = "shard"     // split-parallel shard execution of one micro-batch
 )
 
 // Clock is the injected time source. Now returns nanoseconds; only

@@ -1,0 +1,41 @@
+package partition
+
+import "testing"
+
+// Two components of two nodes each: a partition along the components has
+// no boundary nodes; a partition across them makes every node boundary.
+func TestBoundary(t *testing.T) {
+	g, err := NewWeightedGraph(5,
+		[]int32{0, 2}, []int32{1, 3}, []float32{1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Boundary(g, []int32{0, 0, 1, 1, 0}); got != 0 {
+		t.Fatalf("aligned partition boundary = %d, want 0", got)
+	}
+	if got := Boundary(g, []int32{0, 1, 0, 1, 0}); got != 4 {
+		t.Fatalf("crossing partition boundary = %d, want 4", got)
+	}
+	// Node 4 is isolated: never a boundary node under any partition.
+	if got := Boundary(g, []int32{0, 1, 1, 0, 1}); got != 4 {
+		t.Fatalf("mixed partition boundary = %d, want 4", got)
+	}
+}
+
+// The boundary count is bracketed by the edge cut: each cut edge creates
+// at most two boundary nodes, and any nonzero cut creates at least one.
+func TestBoundaryTracksEdgeCut(t *testing.T) {
+	// path 0-1-2-3-4
+	g, err := NewWeightedGraph(5,
+		[]int32{0, 1, 2, 3}, []int32{1, 2, 3, 4}, []float32{1, 1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := []int32{0, 0, 1, 1, 1}
+	if cut := EdgeCut(g, parts); cut != 1 {
+		t.Fatalf("edge cut = %v", cut)
+	}
+	if got := Boundary(g, parts); got != 2 {
+		t.Fatalf("boundary = %d, want 2 (both endpoints of the cut edge)", got)
+	}
+}

@@ -200,6 +200,24 @@ func EdgeCut(g *WeightedGraph, parts []int32) float64 {
 	return cut
 }
 
+// Boundary counts the nodes that have at least one neighbor assigned to a
+// different part. These are the vertices whose state must be exchanged
+// between parts in a split-parallel execution — the halo set — so alongside
+// EdgeCut it predicts the inter-device traffic a partition induces.
+func Boundary(g *WeightedGraph, parts []int32) int {
+	count := 0
+	for v := int32(0); int(v) < g.N; v++ {
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			if parts[u] != parts[v] {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
 // PartWeights sums node weights per part.
 func PartWeights(g *WeightedGraph, parts []int32, k int) []float64 {
 	w := make([]float64, k)

@@ -256,6 +256,45 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 	return res, nil
 }
 
+// ForwardCost reports the measured cost of a gradient-free forward pass:
+// the recorded tape operation count, the materialized activation bytes, and
+// the model's FLOP estimate for the blocks. Multi-device training uses it
+// to charge each simulated device for its shard of a micro-batch without
+// perturbing the canonical gradient accumulation.
+type ForwardCost struct {
+	// Ops is the number of operations the forward pass recorded.
+	Ops int
+	// ActivationBytes is the tape's materialized intermediate memory.
+	ActivationBytes int64
+	// Flops is the model's forward+backward FLOP estimate for the blocks.
+	Flops float64
+}
+
+// MeasureForward runs forward + loss on a scratch tape and returns the
+// measured cost. It never touches the device ledger, the runner's
+// persistent tape, or any parameter gradient (backward is never invoked),
+// so interleaving it with RunMicroBatch leaves training numerics bitwise
+// unchanged — the scratch tape draws zeroed buffers from the shared pool.
+func (r *Runner) MeasureForward(blocks []*graph.Block) (ForwardCost, error) {
+	var fc ForwardCost
+	if len(blocks) == 0 {
+		return fc, fmt.Errorf("train: empty batch")
+	}
+	input := blocks[0]
+	last := blocks[len(blocks)-1]
+	tp := tensor.NewTape()
+	defer tp.Release()
+	x := tp.Alloc(len(input.SrcNID), r.Data.FeatureDim())
+	r.Data.GatherFeaturesInto(x, input.SrcNID)
+	labels := r.Data.GatherLabels(last.DstNID)
+	logits := r.Model.Forward(tp, blocks, tensor.Leaf(x))
+	tp.SoftmaxCrossEntropy(logits, labels)
+	fc.Ops = tp.NumOps()
+	fc.ActivationBytes = tp.ValueBytes()
+	fc.Flops = r.Model.Flops(blocks)
+	return fc, nil
+}
+
 // Step applies the optimizer to the accumulated gradients and clears them.
 func (r *Runner) Step() {
 	sp := r.Obs.StartSpan(obs.PhaseStep)
