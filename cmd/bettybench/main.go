@@ -28,11 +28,40 @@ func main() {
 		epochs  = flag.Int("epochs", 0, "override training epoch counts")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		verbose = flag.Bool("v", false, "log progress to stderr")
-		step    = flag.String("step", "", "write the training-step perf sweep (workers x pool) to this JSON file")
+		step    = flag.String("step", "", "write the training-step perf sweep (workers x pool x fused) to this JSON file")
 		srv     = flag.String("serve", "", "write the online-serving load report to this JSON file")
 		mdev    = flag.String("multidev", "", "write the split-parallel scaling sweep (devices x shard partitioner) to this JSON file")
+		gate    = flag.String("gate", "", "re-run the step sweep and fail if any cell regressed >threshold vs this committed BENCH_step.json")
+		gateOut = flag.String("gate-out", "BENCH_gate.json", "write the gate comparison artifact to this file")
+		gateTol = flag.Float64("gate-threshold", bench.DefaultGateThreshold, "tolerated relative ns/step slowdown")
 	)
 	flag.Parse()
+
+	if *gate != "" {
+		rep, err := bench.WriteGate(*gate, *gateOut, *scale, *gateTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bettybench: gate: %v\n", err)
+			os.Exit(1)
+		}
+		for _, c := range rep.Cells {
+			mark := " "
+			if c.Regressed {
+				mark = "!"
+			}
+			fmt.Printf("%s %-30s baseline %12d ns  current %12d ns  ratio %.3f\n",
+				mark, c.Name, c.BaselineNs, c.CurrentNs, c.Ratio)
+		}
+		if rep.Advisory {
+			fmt.Printf("advisory only: host_cpus %d != baseline host_cpus %d — ratios not binding\n",
+				rep.HostCPUs, rep.BaselineHostCPUs)
+		}
+		if rep.Failed {
+			fmt.Fprintf(os.Stderr, "bettybench: gate: regression beyond %.0f%% — see %s (override: apply the perf-regression-ok label)\n",
+				rep.Threshold*100, *gateOut)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *mdev != "" {
 		rep, err := bench.WriteMultiDevBench(*mdev, *scale)
@@ -64,6 +93,10 @@ func main() {
 		fmt.Printf("batches: %d (%.1f req/batch)   cache hit rate: %.2f   max planned peak: %.1f MiB (budget %.0f MiB)\n",
 			rep.Batches, rep.AvgRequestsPerBatch, rep.CacheHitRate,
 			float64(rep.MaxEstPeakBytes)/(1<<20), float64(rep.CapacityBytes)/(1<<20))
+		for _, q := range rep.Quant {
+			fmt.Printf("quant=%-5s %.0f req/s  p99 %.2fms  weight bytes %d  max |Δscore| %.3g\n",
+				q.Mode, q.Load.ThroughputRPS, float64(q.Load.P99NS)/1e6, q.WeightBytes, q.MaxAbsDiff)
+		}
 		return
 	}
 
@@ -77,8 +110,12 @@ func main() {
 			fmt.Printf("%-22s %12d ns/step %12d B/step %8d allocs/step\n",
 				r.Name, r.NsPerStep, r.BytesPerStep, r.AllocsPerStep)
 		}
-		fmt.Printf("speedup(8w, pooled): %.2fx   alloc reduction (pool): %.1fx   byte reduction (pool): %.0fx   (host CPUs: %d)\n",
-			rep.SpeedupPooled8W, rep.AllocReduction, rep.ByteReduction, rep.HostCPUs)
+		fmt.Printf("speedup(8w, pooled): %.2fx   fused speedup: %.2fx   alloc reduction (pool): %.1fx   byte reduction (pool): %.0fx   (host CPUs: %d)\n",
+			rep.SpeedupPooled8W, rep.FusedSpeedup, rep.AllocReduction, rep.ByteReduction, rep.HostCPUs)
+		if d := rep.Delta; d != nil {
+			fmt.Printf("vs committed: %d -> %d ns/step (%.2fx), %d -> %d allocs/step\n",
+				d.PrevNsPerStep, d.NewNsPerStep, d.Speedup, d.PrevAllocsPerStep, d.NewAllocsPerStep)
+		}
 		fmt.Printf("embedded %d obs records from one instrumented step\n", len(rep.ObsRecords))
 		return
 	}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The bench-regression gate: CI re-runs the step sweep and compares it
+// against the committed BENCH_step.json baseline. A cell that got more
+// than Threshold slower on ns/step fails the gate (exit 1 in bettybench
+// -gate), unless the PR carries the documented override label — the CI
+// workflow, not this package, honors the label by skipping the job. The
+// full comparison is written as an artifact either way, so a waved-through
+// regression is still on the record.
+
+// DefaultGateThreshold is the relative ns/step slowdown CI tolerates.
+const DefaultGateThreshold = 0.05
+
+// GateCell is one baseline cell's comparison against the fresh run.
+type GateCell struct {
+	Name           string  `json:"name"`
+	BaselineNs     int64   `json:"baseline_ns_per_step"`
+	CurrentNs      int64   `json:"current_ns_per_step"`
+	Ratio          float64 `json:"ratio"` // current / baseline; > 1 is slower
+	Regressed      bool    `json:"regressed"`
+	BaselineAllocs int64   `json:"baseline_allocs_per_step"`
+	CurrentAllocs  int64   `json:"current_allocs_per_step"`
+}
+
+// GateReport is the schema of the gate's comparison artifact.
+type GateReport struct {
+	// BaselinePath is the committed report the run was compared against.
+	BaselinePath string `json:"baseline_path"`
+	// Threshold is the tolerated relative slowdown.
+	Threshold float64 `json:"threshold"`
+	// HostCPUs / BaselineHostCPUs flag hardware mismatch: a baseline
+	// measured on a different host parallelism makes absolute ns/step
+	// comparisons advisory, not binding.
+	HostCPUs         int  `json:"host_cpus"`
+	BaselineHostCPUs int  `json:"baseline_host_cpus"`
+	Advisory         bool `json:"advisory"`
+	// Cells holds every baseline cell found in the fresh run.
+	Cells []GateCell `json:"cells"`
+	// Failed reports whether any cell regressed beyond Threshold on a
+	// comparable host (an advisory mismatch never fails the gate).
+	Failed bool `json:"failed"`
+}
+
+// RunGate re-runs the step sweep at scale and compares it against the
+// committed baseline at baselinePath. threshold <= 0 uses
+// DefaultGateThreshold.
+func RunGate(baselinePath string, scale, threshold float64) (*GateReport, error) {
+	if threshold <= 0 {
+		threshold = DefaultGateThreshold
+	}
+	base, err := ReadStepBench(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("bench: gate baseline: %w", err)
+	}
+	cur, err := RunStepBench(scale)
+	if err != nil {
+		return nil, err
+	}
+	return CompareStepBench(base, cur, baselinePath, threshold)
+}
+
+// CompareStepBench compares a fresh step sweep against a committed
+// baseline cell by cell (matched by name).
+func CompareStepBench(base, cur *StepBenchReport, baselinePath string, threshold float64) (*GateReport, error) {
+	if threshold <= 0 {
+		threshold = DefaultGateThreshold
+	}
+	rep := &GateReport{
+		BaselinePath:     baselinePath,
+		Threshold:        threshold,
+		HostCPUs:         cur.HostCPUs,
+		BaselineHostCPUs: base.HostCPUs,
+		Advisory:         cur.HostCPUs != base.HostCPUs,
+	}
+	curCell := func(name string) *StepBenchResult {
+		for i := range cur.Results {
+			if cur.Results[i].Name == name {
+				return &cur.Results[i]
+			}
+		}
+		return nil
+	}
+	for _, b := range base.Results {
+		c := curCell(b.Name)
+		if c == nil || b.NsPerStep <= 0 {
+			continue // schema drift: the regenerated baseline defines the cells
+		}
+		cell := GateCell{
+			Name:           b.Name,
+			BaselineNs:     b.NsPerStep,
+			CurrentNs:      c.NsPerStep,
+			Ratio:          float64(c.NsPerStep) / float64(b.NsPerStep),
+			BaselineAllocs: b.AllocsPerStep,
+			CurrentAllocs:  c.AllocsPerStep,
+		}
+		cell.Regressed = cell.Ratio > 1+threshold
+		if cell.Regressed && !rep.Advisory {
+			rep.Failed = true
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("bench: gate found no comparable cells in %s", baselinePath)
+	}
+	return rep, nil
+}
+
+// WriteGate runs the gate and writes the comparison artifact to outPath
+// (skipped when empty). The error reports regression failure only after
+// the artifact is written.
+func WriteGate(baselinePath, outPath string, scale, threshold float64) (*GateReport, error) {
+	rep, err := RunGate(baselinePath, scale, threshold)
+	if err != nil {
+		return nil, err
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import "testing"
+
+func gateReports() (base, cur *StepBenchReport) {
+	base = &StepBenchReport{
+		HostCPUs: 4,
+		Results: []StepBenchResult{
+			{Name: "workers=1/pool=on/fused=on", Workers: 1, Pool: true, Fused: true, NsPerStep: 100_000, AllocsPerStep: 90},
+			{Name: "workers=8/pool=on/fused=on", Workers: 8, Pool: true, Fused: true, NsPerStep: 50_000, AllocsPerStep: 120},
+		},
+	}
+	cur = &StepBenchReport{
+		HostCPUs: 4,
+		Results: []StepBenchResult{
+			{Name: "workers=1/pool=on/fused=on", Workers: 1, Pool: true, Fused: true, NsPerStep: 101_000, AllocsPerStep: 90},
+			{Name: "workers=8/pool=on/fused=on", Workers: 8, Pool: true, Fused: true, NsPerStep: 49_000, AllocsPerStep: 120},
+			{Name: "workers=1/pool=off/fused=on", Workers: 1, Fused: true, NsPerStep: 140_000, AllocsPerStep: 130},
+		},
+	}
+	return base, cur
+}
+
+// Within threshold: no failure; every baseline cell compared; cells that
+// exist only in the fresh run are ignored (the baseline defines the set).
+func TestGateWithinThreshold(t *testing.T) {
+	base, cur := gateReports()
+	rep, err := CompareStepBench(base, cur, "BENCH_step.json", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed || rep.Advisory {
+		t.Fatalf("gate failed/advisory on a 1%% drift: %+v", rep)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("compared %d cells, want 2", len(rep.Cells))
+	}
+	if rep.Cells[0].Ratio <= 1.0 || rep.Cells[0].Regressed {
+		t.Fatalf("cell 0 mis-scored: %+v", rep.Cells[0])
+	}
+}
+
+// Beyond threshold: the regressed cell is flagged and the gate fails.
+func TestGateFailsOnRegression(t *testing.T) {
+	base, cur := gateReports()
+	cur.Results[0].NsPerStep = 120_000 // 20% slower
+	rep, err := CompareStepBench(base, cur, "BENCH_step.json", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Fatal("gate passed a 20% regression")
+	}
+	if !rep.Cells[0].Regressed || rep.Cells[1].Regressed {
+		t.Fatalf("wrong cells flagged: %+v", rep.Cells)
+	}
+}
+
+// A host-CPU mismatch demotes the gate to advisory: regressions are
+// reported but never fail the run.
+func TestGateAdvisoryOnHostMismatch(t *testing.T) {
+	base, cur := gateReports()
+	cur.HostCPUs = 16
+	cur.Results[0].NsPerStep = 200_000
+	rep, err := CompareStepBench(base, cur, "BENCH_step.json", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Advisory {
+		t.Fatal("host mismatch not marked advisory")
+	}
+	if rep.Failed {
+		t.Fatal("advisory comparison failed the gate")
+	}
+	if !rep.Cells[0].Regressed {
+		t.Fatal("regression not reported in advisory mode")
+	}
+}
+
+// Old-schema baselines (pre-fused cell names) share no names with the new
+// sweep; the gate must say so rather than silently passing.
+func TestGateNoComparableCells(t *testing.T) {
+	base := &StepBenchReport{
+		HostCPUs: 4,
+		Results:  []StepBenchResult{{Name: "workers=1/pool=on", NsPerStep: 100}},
+	}
+	_, cur := gateReports()
+	if _, err := CompareStepBench(base, cur, "BENCH_step.json", 0.05); err == nil {
+		t.Fatal("gate accepted a baseline with no comparable cells")
+	}
+}

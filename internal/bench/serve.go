@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"betty/internal/dataset"
 	"betty/internal/obs"
 	"betty/internal/serve"
+	"betty/internal/tensor"
 )
 
 // The serve benchmark measures the online inference path: an open-loop
@@ -38,62 +40,136 @@ type ServeBenchReport struct {
 	// CapacityBytes is the budget it stayed under.
 	MaxEstPeakBytes int64 `json:"max_est_peak_bytes"`
 	CapacityBytes   int64 `json:"capacity_bytes"`
+	// Quant holds the exact/f16/int8 serving modes side by side
+	// (DESIGN.md §13): per-mode load reports, resident weight bytes, and
+	// the worst score deviation from the exact path on a fixed probe set.
+	Quant []ServeQuantResult `json:"quant"`
 }
 
-// RunServeBench builds a server over the scaled ogbn-arxiv workload and
-// drives it with a seeded open-loop trace.
+// ServeQuantResult is one BETTY_QUANT mode's measured serving cell.
+type ServeQuantResult struct {
+	// Mode is off, f16, or int8.
+	Mode string `json:"mode"`
+	// Load is the mode's throughput/latency report over the same trace.
+	Load *serve.LoadReport `json:"load"`
+	// WeightBytes is the resident footprint of the quantized weight
+	// matrices (their f32 footprint for mode off).
+	WeightBytes int64 `json:"weight_bytes"`
+	// MaxAbsDiff is the largest |score - exact score| over the probe
+	// requests (0 for mode off by construction).
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+}
+
+// RunServeBench builds servers over the scaled ogbn-arxiv workload — one
+// per BETTY_QUANT mode — and drives each with the same seeded open-loop
+// trace. The exact (off) run fills the report's headline fields; the
+// per-mode cells sit side by side under Quant.
 func RunServeBench(scale float64) (*ServeBenchReport, error) {
 	ds, err := dataset.LoadScaled("ogbn-arxiv", scale)
 	if err != nil {
 		return nil, err
 	}
-	setup, err := core.BuildSAGE(ds, core.Options{Seed: 1, Hidden: 64, Fanouts: []int{5, 10}})
-	if err != nil {
-		return nil, err
-	}
-	cfg := serve.Defaults()
-	cfg.Fanouts = []int{5, 10}
-	cfg.Seed = 1
-	cfg.MaxWait = time.Millisecond
-	cfg.Obs = obs.New(nil)
-	s, err := serve.New(ds, setup.Model, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.Start()
-	defer s.Close()
-
 	lc := serve.LoadConfig{
 		Requests:        200,
 		NodesPerRequest: 8,
 		MeanGap:         200 * time.Microsecond,
 		Seed:            7,
 	}
-	load, err := serve.RunLoad(s, lc)
-	if err != nil {
-		return nil, err
+	// probe is a fixed request scored after each load run; the quantized
+	// modes report their worst score deviation from the exact path on it.
+	probe := make([]int32, 32)
+	for i := range probe {
+		probe[i] = int32(i * 7 % int(ds.Graph.NumNodes()))
 	}
-	if load.Errors > 0 {
-		return nil, fmt.Errorf("bench: %d of %d serve requests failed", load.Errors, load.Requests)
-	}
-	st := s.StatsSnapshot()
-	rep := &ServeBenchReport{
-		Dataset:         ds.Name,
-		Model:           "GraphSAGE-2L-Mean-h64",
-		Requests:        lc.Requests,
-		NodesPerRequest: lc.NodesPerRequest,
-		Load:            load,
-		Batches:         st.Batches,
-		MaxEstPeakBytes: st.MaxEstPeakBytes,
-		CapacityBytes:   cfg.CapacityBytes,
-	}
-	if st.Batches > 0 {
-		rep.AvgRequestsPerBatch = float64(st.BatchedRequests) / float64(st.Batches)
-	}
-	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
-		rep.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+
+	var rep *ServeBenchReport
+	var exactProbe [][]float32
+	for _, mode := range []tensor.QuantMode{tensor.QuantOff, tensor.QuantF16, tensor.QuantInt8} {
+		// Fresh model per mode: the quantized server steals and re-encodes
+		// its model's weight storage.
+		setup, err := core.BuildSAGE(ds, core.Options{Seed: 1, Hidden: 64, Fanouts: []int{5, 10}})
+		if err != nil {
+			return nil, err
+		}
+		reg := obs.New(nil)
+		cfg := serve.Defaults()
+		cfg.Fanouts = []int{5, 10}
+		cfg.Seed = 1
+		cfg.MaxWait = time.Millisecond
+		cfg.Obs = reg
+		cfg.Quant = mode
+		s, err := serve.New(ds, setup.Model, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Start()
+		load, err := serve.RunLoad(s, lc)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if load.Errors > 0 {
+			s.Close()
+			return nil, fmt.Errorf("bench: %v: %d of %d serve requests failed", mode, load.Errors, load.Requests)
+		}
+		scores, err := s.Predict(probe, 0)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		st := s.StatsSnapshot()
+		s.Close()
+
+		qr := ServeQuantResult{Mode: mode.String(), Load: load}
+		if mode == tensor.QuantOff {
+			exactProbe = scores
+			qr.WeightBytes = weightMatrixBytes(setup.Model)
+			rep = &ServeBenchReport{
+				Dataset:         ds.Name,
+				Model:           "GraphSAGE-2L-Mean-h64",
+				Requests:        lc.Requests,
+				NodesPerRequest: lc.NodesPerRequest,
+				Load:            load,
+				Batches:         st.Batches,
+				MaxEstPeakBytes: st.MaxEstPeakBytes,
+				CapacityBytes:   cfg.CapacityBytes,
+			}
+			if st.Batches > 0 {
+				rep.AvgRequestsPerBatch = float64(st.BatchedRequests) / float64(st.Batches)
+			}
+			if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+				rep.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+			}
+		} else {
+			qr.WeightBytes, _ = reg.GaugeValue("serve.quant_weight_bytes")
+			for i := range scores {
+				for j := range scores[i] {
+					d := math.Abs(float64(scores[i][j]) - float64(exactProbe[i][j]))
+					if d > qr.MaxAbsDiff {
+						qr.MaxAbsDiff = d
+					}
+				}
+			}
+		}
+		rep.Quant = append(rep.Quant, qr)
 	}
 	return rep, nil
+}
+
+// weightMatrixBytes sums the f32 footprint of the model's weight matrices
+// (the parameters quantized serving compresses; biases excluded).
+func weightMatrixBytes(model any) int64 {
+	pm, ok := model.(interface{ Params() []*tensor.Var })
+	if !ok {
+		return 0
+	}
+	var total int64
+	for _, p := range pm.Params() {
+		if p.Value.Rows() > 1 {
+			total += int64(p.Value.Len()) * 4
+		}
+	}
+	return total
 }
 
 // WriteServeBench runs the load and writes the JSON report to path.

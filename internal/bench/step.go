@@ -25,17 +25,30 @@ import (
 
 // StepBenchResult is one measured cell of the step sweep.
 type StepBenchResult struct {
-	// Name is "workers=W/pool=on|off".
+	// Name is "workers=W/pool=on|off/fused=on|off".
 	Name string `json:"name"`
 	// Workers is the parallel.SetWorkers bound used for the run.
 	Workers int `json:"workers"`
 	// Pool reports whether the tape buffer pool was enabled.
 	Pool bool `json:"pool"`
+	// Fused reports whether the fused kernel tier (BETTY_FUSED) was on.
+	Fused bool `json:"fused"`
 	// NsPerStep, BytesPerStep, and AllocsPerStep come straight from
 	// testing.Benchmark over RunMicroBatch+Step.
 	NsPerStep     int64 `json:"ns_per_step"`
 	BytesPerStep  int64 `json:"bytes_per_step"`
 	AllocsPerStep int64 `json:"allocs_per_step"`
+}
+
+// StepBenchDelta compares this run's fused workers=1/pool=on cell against
+// the previously committed BENCH_step.json (the perf-trajectory record:
+// every regeneration documents what it changed).
+type StepBenchDelta struct {
+	PrevNsPerStep     int64   `json:"prev_ns_per_step"`
+	NewNsPerStep      int64   `json:"new_ns_per_step"`
+	Speedup           float64 `json:"speedup"`
+	PrevAllocsPerStep int64   `json:"prev_allocs_per_step"`
+	NewAllocsPerStep  int64   `json:"new_allocs_per_step"`
 }
 
 // StepBenchReport is the schema of BENCH_step.json.
@@ -53,6 +66,12 @@ type StepBenchReport struct {
 	Results []StepBenchResult `json:"results"`
 	// SpeedupPooled8W is ns/step at workers=1 over workers=8, pool on.
 	SpeedupPooled8W float64 `json:"speedup_pooled_8w"`
+	// FusedSpeedup is unfused over fused ns/step at workers=1, pool on —
+	// the raw win of the kernel tier (DESIGN.md §13).
+	FusedSpeedup float64 `json:"fused_speedup"`
+	// Delta compares against the previously committed report, when one
+	// existed at the output path.
+	Delta *StepBenchDelta `json:"delta_vs_committed,omitempty"`
 	// AllocReduction is allocs/step unpooled over pooled (workers=1).
 	AllocReduction float64 `json:"alloc_reduction"`
 	// ByteReduction is bytes/step unpooled over pooled (workers=1) — the
@@ -114,52 +133,70 @@ func RunStepBench(scale float64) (*StepBenchReport, error) {
 		runner.Step()
 		return nil
 	}
-	for _, pool := range []bool{true, false} {
-		for _, w := range []int{1, 8} {
-			prevW := parallel.SetWorkers(w)
-			prevP := tensor.SetPooling(pool)
-			if err := step(); err != nil { // warm-up, untimed
-				parallel.SetWorkers(prevW)
-				tensor.SetPooling(prevP)
-				return nil, err
-			}
-			var stepErr error
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if err := step(); err != nil {
-						stepErr = err
-						b.FailNow()
-					}
-				}
-			})
+	// The sweep: the fused/unfused A/B at both worker counts (pool on, the
+	// production configuration), plus the pool-off cells that keep the
+	// allocation-reduction trend comparable across reports (fused on, the
+	// default execution path).
+	cells := []struct {
+		workers     int
+		pool, fused bool
+	}{
+		{1, true, true}, {8, true, true},
+		{1, true, false}, {8, true, false},
+		{1, false, true}, {8, false, true},
+	}
+	for _, c := range cells {
+		prevW := parallel.SetWorkers(c.workers)
+		prevP := tensor.SetPooling(c.pool)
+		prevF := nn.SetFused(c.fused)
+		restore := func() {
 			parallel.SetWorkers(prevW)
 			tensor.SetPooling(prevP)
-			if stepErr != nil {
-				return nil, stepErr
-			}
-			rep.Results = append(rep.Results, StepBenchResult{
-				Name:          fmt.Sprintf("workers=%d/pool=%s", w, onOff(pool)),
-				Workers:       w,
-				Pool:          pool,
-				NsPerStep:     r.NsPerOp(),
-				BytesPerStep:  r.AllocedBytesPerOp(),
-				AllocsPerStep: r.AllocsPerOp(),
-			})
+			nn.SetFused(prevF)
 		}
+		if err := step(); err != nil { // warm-up, untimed
+			restore()
+			return nil, err
+		}
+		var stepErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := step(); err != nil {
+					stepErr = err
+					b.FailNow()
+				}
+			}
+		})
+		restore()
+		if stepErr != nil {
+			return nil, stepErr
+		}
+		rep.Results = append(rep.Results, StepBenchResult{
+			Name:          fmt.Sprintf("workers=%d/pool=%s/fused=%s", c.workers, onOff(c.pool), onOff(c.fused)),
+			Workers:       c.workers,
+			Pool:          c.pool,
+			Fused:         c.fused,
+			NsPerStep:     r.NsPerOp(),
+			BytesPerStep:  r.AllocedBytesPerOp(),
+			AllocsPerStep: r.AllocsPerOp(),
+		})
 	}
-	cell := func(w int, pool bool) *StepBenchResult {
+	cell := func(w int, pool, fused bool) *StepBenchResult {
 		for i := range rep.Results {
-			if rep.Results[i].Workers == w && rep.Results[i].Pool == pool {
+			if rep.Results[i].Workers == w && rep.Results[i].Pool == pool && rep.Results[i].Fused == fused {
 				return &rep.Results[i]
 			}
 		}
 		return nil
 	}
-	if a, b := cell(1, true), cell(8, true); a != nil && b != nil && b.NsPerStep > 0 {
+	if a, b := cell(1, true, true), cell(8, true, true); a != nil && b != nil && b.NsPerStep > 0 {
 		rep.SpeedupPooled8W = float64(a.NsPerStep) / float64(b.NsPerStep)
 	}
-	if a, b := cell(1, false), cell(1, true); a != nil && b != nil && b.AllocsPerStep > 0 {
+	if a, b := cell(1, true, false), cell(1, true, true); a != nil && b != nil && b.NsPerStep > 0 {
+		rep.FusedSpeedup = float64(a.NsPerStep) / float64(b.NsPerStep)
+	}
+	if a, b := cell(1, false, true), cell(1, true, true); a != nil && b != nil && b.AllocsPerStep > 0 {
 		rep.AllocReduction = float64(a.AllocsPerStep) / float64(b.AllocsPerStep)
 		if b.BytesPerStep > 0 {
 			rep.ByteReduction = float64(a.BytesPerStep) / float64(b.BytesPerStep)
@@ -181,11 +218,60 @@ func RunStepBench(scale float64) (*StepBenchReport, error) {
 	return rep, nil
 }
 
-// WriteStepBench runs the sweep and writes the JSON report to path.
+// ReadStepBench parses a committed BENCH_step.json.
+func ReadStepBench(path string) (*StepBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep StepBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// baselineHotCell picks a report's workers=1/pool=on production cell,
+// preferring the fused one; reports written before the fused dimension
+// existed decode with Fused=false everywhere and still match.
+func baselineHotCell(rep *StepBenchReport) *StepBenchResult {
+	var fallback *StepBenchResult
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if r.Workers != 1 || !r.Pool {
+			continue
+		}
+		if r.Fused {
+			return r
+		}
+		if fallback == nil {
+			fallback = r
+		}
+	}
+	return fallback
+}
+
+// WriteStepBench runs the sweep and writes the JSON report to path. When a
+// previous report exists there, the new one embeds a delta against its
+// workers=1/pool=on cell, so the committed file always documents what the
+// regeneration changed.
 func WriteStepBench(path string, scale float64) (*StepBenchReport, error) {
+	var prevCell *StepBenchResult
+	if prev, err := ReadStepBench(path); err == nil {
+		prevCell = baselineHotCell(prev)
+	}
 	rep, err := RunStepBench(scale)
 	if err != nil {
 		return nil, err
+	}
+	if newCell := baselineHotCell(rep); prevCell != nil && newCell != nil && newCell.NsPerStep > 0 {
+		rep.Delta = &StepBenchDelta{
+			PrevNsPerStep:     prevCell.NsPerStep,
+			NewNsPerStep:      newCell.NsPerStep,
+			Speedup:           float64(prevCell.NsPerStep) / float64(newCell.NsPerStep),
+			PrevAllocsPerStep: prevCell.AllocsPerStep,
+			NewAllocsPerStep:  newCell.AllocsPerStep,
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

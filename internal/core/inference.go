@@ -42,11 +42,23 @@ func layerStack(model any) ([]BlockLayer, error) {
 	}
 }
 
+// fusedBlockLayer is the optional fused-tier interface (DESIGN.md §13):
+// layers that implement it run gather→aggregate→bias→ReLU in fused kernels,
+// with the inter-layer ReLU folded in. Fusion is bitwise-exact, so which
+// path executes never changes a prediction byte.
+type fusedBlockLayer interface {
+	ForwardFused(tp *tensor.Tape, b *graph.Block, h *tensor.Var, relu bool) *tensor.Var
+}
+
 // applyLayer runs one GNN layer over one block, applying the inter-layer
 // ReLU when the layer is not the model's last. It is the single per-layer
 // forward step shared by whole-batch inference (BatchInference) and
-// layer-wise offline inference (LayerwiseInference).
+// layer-wise offline inference (LayerwiseInference). Layers that implement
+// the fused tier take it when BETTY_FUSED is on.
 func applyLayer(tp *tensor.Tape, layer BlockLayer, b *graph.Block, h *tensor.Var, last bool) *tensor.Var {
+	if fl, ok := layer.(fusedBlockLayer); ok && nn.FusedEnabled() {
+		return fl.ForwardFused(tp, b, h, !last)
+	}
 	out := layer.Forward(tp, b, h)
 	if !last {
 		out = tp.ReLU(out)

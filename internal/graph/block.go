@@ -60,6 +60,12 @@ type Block struct {
 
 	lstmOnce    sync.Once
 	lstmBuckets []DegreeBucket
+
+	srcInvOnce sync.Once
+	srcInvCnt  []int32
+	srcInvPos  []int32
+	invDegOnce sync.Once
+	invDeg     []float32
 }
 
 // NumEdges returns the number of edges in the block.
@@ -88,6 +94,49 @@ func (b *Block) EdgePairs() (src, dst []int32) {
 		}
 	})
 	return b.srcPairs, b.dstPairs
+}
+
+// SrcInverse returns the inverse of the block's per-edge source index:
+// positions pos[cnt[r]:cnt[r+1]] list, in ascending order, the edge
+// positions p with SrcLocal[p] == r. The fused aggregation backward
+// (tensor.FusedCSRAgg) iterates it so each source row is owned by exactly
+// one worker; memoizing it here removes the rebuild — and its two
+// allocations — from every backward pass of every micro-batch. Callers
+// must not modify the returned slices.
+func (b *Block) SrcInverse() (cnt, pos []int32) {
+	b.srcInvOnce.Do(func() {
+		cnt := make([]int32, b.NumSrc+1)
+		for _, s := range b.SrcLocal {
+			cnt[s+1]++
+		}
+		for r := 0; r < b.NumSrc; r++ {
+			cnt[r+1] += cnt[r]
+		}
+		fill := make([]int32, b.NumSrc)
+		pos := make([]int32, len(b.SrcLocal))
+		for p, s := range b.SrcLocal {
+			pos[cnt[s]+fill[s]] = int32(p)
+			fill[s]++
+		}
+		b.srcInvCnt, b.srcInvPos = cnt, pos
+	})
+	return b.srcInvCnt, b.srcInvPos
+}
+
+// InvInDegree returns 1/in-degree per local destination (0 for isolated
+// destinations) — the mean-aggregation post-scale — computed once per
+// block. Callers must not modify the returned slice.
+func (b *Block) InvInDegree() []float32 {
+	b.invDegOnce.Do(func() {
+		inv := make([]float32, b.NumDst)
+		for d := 0; d < b.NumDst; d++ {
+			if deg := b.InDegree(d); deg > 0 {
+				inv[d] = 1 / float32(deg)
+			}
+		}
+		b.invDeg = inv
+	})
+	return b.invDeg
 }
 
 // MemoEdgeWt memoizes an edge-weight view built from b.EdgeWt — in

@@ -8,7 +8,7 @@ import (
 
 // Pooldisc guards the tape-pool ownership discipline from DESIGN.md §8:
 // tensor.Tape owns every pooled buffer it hands out, Release returns the
-// whole arena, and a released tensor is poison. Two rules follow:
+// whole arena, and a released tensor is poison. Three rules follow:
 //
 //  1. A function that binds a fresh tape to a local (tp :=
 //     tensor.NewTape()) must either release a tape (a Release call or
@@ -20,6 +20,12 @@ import (
 //     Release; it must never escape into a return value or a struct field.
 //     (Passing it down as a call argument is fine — the callee finishes
 //     before Release can run.)
+//  3. A raw scratch slice from tensor.AcquireScratch (the dequant-tile and
+//     fused-kernel buffers of DESIGN.md §13) follows the tape's rule 1: the
+//     binding function must call tensor.ReleaseScratch or visibly transfer
+//     ownership (return the slice or store it in a struct field — the
+//     install/uninstall weight-swap pattern, where a later function
+//     releases it).
 //
 // The tensor package itself is exempt: it is the implementation of the
 // discipline (its internal acquire/release pairs are tape-scoped, not
@@ -28,7 +34,8 @@ import (
 var Pooldisc = &Analyzer{
 	Name: "pooldisc",
 	Doc: "require every locally bound tensor.NewTape to be Released or ownership-transferred, " +
-		"and forbid Tape.Alloc results escaping into returns or struct fields",
+		"forbid Tape.Alloc results escaping into returns or struct fields, " +
+		"and require every tensor.AcquireScratch to be ReleaseScratch-ed or ownership-transferred",
 	Run: runPooldisc,
 }
 
@@ -64,17 +71,21 @@ func pooldiscFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
 	// for a lint.
 	pooled := make(map[types.Object]bool)
 	owned := make(map[types.Object]ast.Node)
+	scratchOwned := make(map[types.Object]ast.Node)
 	released := false
+	scratchReleased := false
 
-	isNewTape := func(e ast.Expr) bool {
+	// isTensorFunc matches a call to a package-level tensor function.
+	isTensorFunc := func(e ast.Expr, name string) bool {
 		call, ok := ast.Unparen(e).(*ast.CallExpr)
 		if !ok {
 			return false
 		}
 		fn := funcObj(p.Info, call)
 		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == tensorPkg &&
-			fn.Name() == "NewTape" && fn.Type().(*types.Signature).Recv() == nil
+			fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
 	}
+	isNewTape := func(e ast.Expr) bool { return isTensorFunc(e, "NewTape") }
 	isAlloc := func(e ast.Expr) bool {
 		call, ok := ast.Unparen(e).(*ast.CallExpr)
 		if !ok {
@@ -108,6 +119,10 @@ func pooldiscFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
 					if id, ok := lhs.(*ast.Ident); ok {
 						owned[p.Info.ObjectOf(id)] = s
 					}
+				case isTensorFunc(rhs, "AcquireScratch"):
+					if id, ok := lhs.(*ast.Ident); ok {
+						scratchOwned[p.Info.ObjectOf(id)] = s
+					}
 				case isPooled(rhs):
 					if sel, ok := lhs.(*ast.SelectorExpr); ok {
 						diags = append(diags, Diagnostic{
@@ -131,32 +146,49 @@ func pooldiscFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
 							"at the tape's Release and must not escape the releasing function",
 					})
 				}
-				// Returning an owned tape transfers ownership to the caller.
+				// Returning an owned tape or scratch slice transfers
+				// ownership to the caller.
 				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
 					delete(owned, p.Info.ObjectOf(id))
+					delete(scratchOwned, p.Info.ObjectOf(id))
 				}
 			}
 		case *ast.CallExpr:
 			if isMethodOn(funcObj(p.Info, s), tensorPkg, "Tape", "Release") {
 				released = true
 			}
+			if isTensorFunc(s, "ReleaseScratch") {
+				scratchReleased = true
+			}
 		}
 		return true
 	})
 
-	if released {
-		return diags
-	}
-	for obj, site := range owned {
-		if fieldAssigned(p, fd, obj) {
-			continue // ownership transferred to a long-lived struct
+	if !released {
+		for obj, site := range owned {
+			if fieldAssigned(p, fd, obj) {
+				continue // ownership transferred to a long-lived struct
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "pooldisc",
+				Pos:      p.pos(site),
+				Message: "tensor.NewTape bound here but no Tape.Release in this function: every pooled " +
+					"acquisition must be released (defer tp.Release()) or ownership visibly transferred",
+			})
 		}
-		diags = append(diags, Diagnostic{
-			Analyzer: "pooldisc",
-			Pos:      p.pos(site),
-			Message: "tensor.NewTape bound here but no Tape.Release in this function: every pooled " +
-				"acquisition must be released (defer tp.Release()) or ownership visibly transferred",
-		})
+	}
+	if !scratchReleased {
+		for obj, site := range scratchOwned {
+			if fieldAssigned(p, fd, obj) {
+				continue // install-pattern transfer: the owning struct's uninstall releases it
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "pooldisc",
+				Pos:      p.pos(site),
+				Message: "tensor.AcquireScratch bound here but no tensor.ReleaseScratch in this function: " +
+					"every scratch slice must be released (defer tensor.ReleaseScratch(s)) or ownership visibly transferred",
+			})
+		}
 	}
 	return diags
 }

@@ -5,6 +5,7 @@ import "betty/internal/tensor"
 type holder struct {
 	scratch *tensor.Tensor
 	tape    *tensor.Tape
+	weights []float32
 }
 
 func leakField(tp *tensor.Tape, h *holder) {
@@ -46,4 +47,25 @@ func okTransferReturn() *tensor.Tape {
 func okAnnotated(tp *tensor.Tape) *tensor.Tensor {
 	//bettyvet:ok pooldisc fixture tensor outlives no Release in this contrived example // want-sup+1 pooldisc
 	return tp.Alloc(3, 3)
+}
+
+func leakScratch() float32 {
+	s := tensor.AcquireScratch(8) // want pooldisc
+	return s[0]
+}
+
+func okScratchReleased() float32 {
+	s := tensor.AcquireScratch(8)
+	defer tensor.ReleaseScratch(s)
+	return s[0]
+}
+
+func okScratchTransferField(h *holder) {
+	s := tensor.AcquireScratch(8)
+	h.weights = s // install pattern: h's uninstall releases it later
+}
+
+func okScratchTransferReturn() []float32 {
+	s := tensor.AcquireScratch(8)
+	return s
 }

@@ -1,6 +1,7 @@
 // Package tensor is a minimal stand-in for betty/internal/tensor with just
-// enough API surface (Tensor, Tape, NewTape, Alloc, Release) for the
-// pooldisc golden tests to type-check against.
+// enough API surface (Tensor, Tape, NewTape, Alloc, Release, plus the
+// AcquireScratch/ReleaseScratch pair) for the pooldisc golden tests to
+// type-check against.
 package tensor
 
 type Tensor struct {
@@ -17,3 +18,7 @@ func (tp *Tape) Alloc(rows, cols int) *Tensor {
 }
 
 func (tp *Tape) Release() { tp.owned = tp.owned[:0] }
+
+func AcquireScratch(n int) []float32 { return make([]float32, n) }
+
+func ReleaseScratch(s []float32) { _ = s }

@@ -41,6 +41,7 @@ func midBlock() *graph.Block {
 // architecture. All cases share tinyBlock (N=2 outputs, S=3 inputs, E=4
 // edges); the hand arithmetic is spelled out per field.
 func TestEstimateComponentsByModel(t *testing.T) {
+	defer nn.SetFused(nn.SetFused(false)) // every case below costs the unfused chains
 	cases := []struct {
 		name   string
 		blocks []*graph.Block
@@ -183,6 +184,68 @@ func TestEstimateComponentsByModel(t *testing.T) {
 			}
 			if got.Total() != stable+tc.want.Aggregator+tc.want.Gradients {
 				t.Errorf("Total = %d", got.Total())
+			}
+		})
+	}
+}
+
+// TestEstimateComponentsFused pins the fused-tier activation accounting
+// (DESIGN.md §13) the same way: hand-computed byte counts on tinyBlock for
+// the architectures with fused forwards. Fused layers materialize one
+// kernel output where the primitive chains materialize several, so the
+// Aggregator component is strictly smaller than the matching unfused case.
+func TestEstimateComponentsFused(t *testing.T) {
+	defer nn.SetFused(nn.SetFused(true))
+	cases := []struct {
+		name   string
+		blocks []*graph.Block
+		spec   Spec
+		want   int64 // Aggregator bytes
+	}{
+		{
+			// f=10, o=4: self+concat 3NF(60) + fused linear NO(8) +
+			// fused sum-agg NF(20) = 88 values; minus Hidden (8 values).
+			name:   "sage-sum-1layer",
+			blocks: []*graph.Block{tinyBlock()},
+			spec: Spec{
+				Model:     nn.Config{InDim: 10, Hidden: 8, OutDim: 4, Layers: 1, Aggregator: nn.Sum},
+				ParamsGNN: 50,
+			},
+			want: (88 - 8) * 4,
+		},
+		{
+			// Mean fuses the degree scale into the same kernel output, so
+			// the count matches Sum: 3NF(60) + NO(8) + NF(20) = 88 values.
+			name:   "sage-mean-1layer",
+			blocks: []*graph.Block{tinyBlock()},
+			spec: Spec{
+				Model:     nn.Config{InDim: 10, Hidden: 8, OutDim: 4, Layers: 1, Aggregator: nn.Mean},
+				ParamsGNN: 50,
+			},
+			want: (88 - 8) * 4,
+		},
+		{
+			// GCN: source scaling SF(30) + fused normalized sum NF(20) +
+			// self slice/scale 2NF(40) + add NF(20) + fused linear NO(8)
+			// = 118 values.
+			name:   "gcn-1layer",
+			blocks: []*graph.Block{tinyBlock()},
+			spec: Spec{
+				Model:     nn.Config{InDim: 10, Hidden: 8, OutDim: 4, Layers: 1},
+				ParamsGNN: 44,
+				IsGCN:     true,
+			},
+			want: (118 - 8) * 4,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Estimate(tc.blocks, tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Aggregator != tc.want {
+				t.Errorf("fused Aggregator = %d, want %d", got.Aggregator, tc.want)
 			}
 		})
 	}

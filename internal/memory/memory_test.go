@@ -56,6 +56,7 @@ func seedsRange(n int) []int32 {
 }
 
 func TestEstimateHandComputed(t *testing.T) {
+	defer nn.SetFused(nn.SetFused(false)) // constants below cost the unfused chains
 	// one layer, one block: 2 dst, 3 src, 4 edges
 	b := &graph.Block{
 		NumSrc:   3,
@@ -112,6 +113,7 @@ func TestEstimateHandComputed(t *testing.T) {
 }
 
 func TestEstimateLSTMEquation5(t *testing.T) {
+	defer nn.SetFused(nn.SetFused(false)) // constants below cost the unfused chains
 	b := &graph.Block{
 		NumSrc:   4,
 		NumDst:   2,

@@ -98,10 +98,15 @@ func (m *GCN) Forward(tp *tensor.Tape, blocks []*graph.Block, x *tensor.Var) *te
 		panic(fmt.Sprintf("nn: model has %d layers but batch has %d blocks", len(m.Layers), len(blocks)))
 	}
 	h := x
+	fused := FusedEnabled()
 	for l, conv := range m.Layers {
-		h = conv.Forward(tp, blocks[l], h)
-		if l < len(m.Layers)-1 {
-			h = tp.ReLU(h)
+		if fused {
+			h = conv.ForwardFused(tp, blocks[l], h, l < len(m.Layers)-1)
+		} else {
+			h = conv.Forward(tp, blocks[l], h)
+			if l < len(m.Layers)-1 {
+				h = tp.ReLU(h)
+			}
 		}
 	}
 	return h

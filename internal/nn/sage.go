@@ -79,15 +79,9 @@ func (c *SAGEConv) aggregate(tp *tensor.Tape, b *graph.Block, h *tensor.Var) *te
 		return c.weightedSum(tp, b, h, src, dst)
 	case Mean:
 		// Equation 1: SUM(e_uv * h_u / D_v) — the weighted neighbor sum
-		// divided by the in-degree.
+		// divided by the in-degree (1/deg memoized on the block).
 		sum := c.weightedSum(tp, b, h, src, dst)
-		inv := make([]float32, b.NumDst)
-		for d := 0; d < b.NumDst; d++ {
-			if deg := b.InDegree(d); deg > 0 {
-				inv[d] = 1 / float32(deg)
-			}
-		}
-		return tp.RowScale(sum, inv)
+		return tp.RowScale(sum, b.InvInDegree())
 	case Pool:
 		pre := tp.ReLU(c.poolFC.Apply(tp, h))
 		msgs := tp.GatherRows(pre, src)
@@ -231,10 +225,15 @@ func (m *GraphSAGE) Forward(tp *tensor.Tape, blocks []*graph.Block, x *tensor.Va
 		panic(fmt.Sprintf("nn: model has %d layers but batch has %d blocks", len(m.Layers), len(blocks)))
 	}
 	h := x
+	fused := FusedEnabled()
 	for l, conv := range m.Layers {
-		h = conv.Forward(tp, blocks[l], h)
-		if l < len(m.Layers)-1 {
-			h = tp.ReLU(h)
+		if fused {
+			h = conv.ForwardFused(tp, blocks[l], h, l < len(m.Layers)-1)
+		} else {
+			h = conv.Forward(tp, blocks[l], h)
+			if l < len(m.Layers)-1 {
+				h = tp.ReLU(h)
+			}
 		}
 	}
 	return h

@@ -31,6 +31,111 @@ func init() {
 	workers.Store(int64(defaultWorkers()))
 }
 
+// --- persistent worker pool ---
+//
+// Earlier revisions spawned fresh goroutines (and a WaitGroup) on every
+// parallel call, which showed up as ~200 extra allocations per training
+// step at BETTY_WORKERS=8 (BENCH_step.json, PR 2). The pool below keeps
+// long-lived workers fed through a buffered channel and recycles the
+// per-call job descriptor through a sync.Pool, so a steady-state parallel
+// call allocates nothing beyond the caller's own closure.
+//
+// Work distribution is unchanged: a job exposes its shards through an
+// atomic cursor and any subset of workers (plus the submitting goroutine,
+// which always participates) drains them. Shard boundaries remain a pure
+// function of the problem, so results are bitwise identical no matter how
+// many workers actually run.
+
+// job is one parallel call in flight. Exactly one of bounds (irregular
+// shards) or grain (regular shards over [0, n)) describes the shard
+// structure.
+type job struct {
+	fn     func(lo, hi int)
+	n      int
+	grain  int
+	bounds []int
+	shards int
+	next   atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// run drains shards until the cursor is exhausted.
+func (j *job) run() {
+	for {
+		s := int(j.next.Add(1)) - 1
+		if s >= j.shards {
+			return
+		}
+		var lo, hi int
+		if j.bounds != nil {
+			lo, hi = j.bounds[s], j.bounds[s+1]
+			if lo >= hi {
+				continue
+			}
+		} else {
+			lo = s * j.grain
+			hi = lo + j.grain
+			if hi > j.n {
+				hi = j.n
+			}
+		}
+		j.fn(lo, hi)
+	}
+}
+
+var (
+	jobPool = sync.Pool{New: func() any { return new(job) }}
+	// jobs is the feed channel of the persistent workers. Sends are
+	// non-blocking: when every worker is busy (including the nested-call
+	// case, where a worker's fn itself issues a parallel call), the
+	// submitter simply runs more shards on its own goroutine.
+	jobs = make(chan *job, 256)
+	// spawned counts the persistent workers launched so far; workers are
+	// started lazily, up to the largest concurrency any call has asked for.
+	spawned atomic.Int64
+)
+
+// ensureWorkers lazily grows the persistent pool to at least w-1 workers
+// (the submitting goroutine is the w-th).
+func ensureWorkers(w int) {
+	need := int64(w - 1)
+	for {
+		cur := spawned.Load()
+		if cur >= need {
+			return
+		}
+		if spawned.CompareAndSwap(cur, cur+1) {
+			go func() {
+				for j := range jobs {
+					j.run()
+					j.wg.Done()
+				}
+			}()
+		}
+	}
+}
+
+// dispatch runs j with up to w concurrent executors and recycles it.
+func dispatch(j *job, w int) {
+	ensureWorkers(w)
+	for i := 0; i < w-1; i++ {
+		j.wg.Add(1)
+		select {
+		case jobs <- j:
+		default:
+			// Pool saturated (e.g. a nested call from inside a worker):
+			// stop posting and let the submitter drain the rest itself.
+			j.wg.Done()
+			i = w // exit the posting loop
+		}
+	}
+	j.run() // the submitter always participates
+	j.wg.Wait()
+	j.fn = nil
+	j.bounds = nil
+	jobPool.Put(j)
+}
+
 // ParseWorkers validates a BETTY_WORKERS override: it must be a positive
 // decimal integer. The empty string means "unset" and returns (0, nil) so
 // the caller falls back to GOMAXPROCS. Anything else — garbage, zero, or a
@@ -121,27 +226,10 @@ func For(n, grain int, fn func(lo, hi int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				s := int(next.Add(1)) - 1
-				if s >= shards {
-					return
-				}
-				lo := s * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				fn(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	j := jobPool.Get().(*job)
+	j.fn, j.n, j.grain, j.bounds, j.shards = fn, n, grain, nil, shards
+	j.next.Store(0)
+	dispatch(j, w)
 }
 
 // ForShards executes fn over the irregular contiguous shards described by
@@ -170,24 +258,10 @@ func ForShards(bounds []int, fn func(lo, hi int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				s := int(next.Add(1)) - 1
-				if s >= shards {
-					return
-				}
-				if bounds[s] < bounds[s+1] {
-					fn(bounds[s], bounds[s+1])
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	j := jobPool.Get().(*job)
+	j.fn, j.n, j.grain, j.bounds, j.shards = fn, 0, 0, bounds, shards
+	j.next.Store(0)
+	dispatch(j, w)
 }
 
 // MapReduce maps each shard of [0, n) to a value and folds the per-shard

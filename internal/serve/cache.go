@@ -1,54 +1,64 @@
 package serve
 
-import "container/list"
+import (
+	"container/list"
+
+	"betty/internal/tensor"
+)
 
 // featureCache is an LRU cache of gathered input-feature rows keyed by
-// global node ID. It is owned by the single batch worker goroutine, so it
-// needs no locking, and — because cached rows are exact copies of the
-// host feature matrix — a hit changes which bytes are copied, never what
-// they are: cache state cannot affect served predictions.
+// global node ID, stored in the server's quantized format (quantRow; f32
+// copies under QuantOff). It is owned by the single batch worker goroutine,
+// so it needs no locking. Under QuantOff a hit changes which bytes are
+// copied, never what they are; under a quantized mode the gather path
+// round-trips misses through the same codec before staging, so cache state
+// still cannot affect served predictions.
 type featureCache struct {
 	capNodes int
+	mode     tensor.QuantMode
 	entries  map[int32]*list.Element
 	order    *list.List // front = most recently used
+	bytes    int64      // resident row bytes, for the cache-size gauge
 }
 
 // cacheEntry is one resident row.
 type cacheEntry struct {
 	nid int32
-	row []float32
+	row quantRow
 }
 
-// newFeatureCache returns a cache holding up to capNodes rows; capNodes <= 0
-// returns nil, and every method is safe on a nil cache (always a miss).
-func newFeatureCache(capNodes int) *featureCache {
+// newFeatureCache returns a cache holding up to capNodes rows encoded under
+// mode; capNodes <= 0 returns nil, and every method is safe on a nil cache
+// (always a miss).
+func newFeatureCache(capNodes int, mode tensor.QuantMode) *featureCache {
 	if capNodes <= 0 {
 		return nil
 	}
 	return &featureCache{
 		capNodes: capNodes,
+		mode:     mode,
 		entries:  make(map[int32]*list.Element, capNodes),
 		order:    list.New(),
 	}
 }
 
-// get returns the cached row for nid (marking it most recently used) or
-// nil on a miss.
-func (c *featureCache) get(nid int32) []float32 {
+// get returns the cached row for nid (marking it most recently used); the
+// second result reports a hit.
+func (c *featureCache) get(nid int32) (quantRow, bool) {
 	if c == nil {
-		return nil
+		return quantRow{}, false
 	}
 	el, ok := c.entries[nid]
 	if !ok {
-		return nil
+		return quantRow{}, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).row
+	return el.Value.(*cacheEntry).row, true
 }
 
-// put inserts a copy of row for nid, evicting the least recently used
-// entry when full. Re-inserting an existing key refreshes its recency.
-func (c *featureCache) put(nid int32, row []float32) {
+// put inserts an already-encoded row for nid, evicting the least recently
+// used entry when full. Re-inserting an existing key refreshes its recency.
+func (c *featureCache) put(nid int32, row quantRow) {
 	if c == nil {
 		return
 	}
@@ -59,9 +69,12 @@ func (c *featureCache) put(nid int32, row []float32) {
 	if c.order.Len() >= c.capNodes {
 		back := c.order.Back()
 		c.order.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).nid)
+		e := back.Value.(*cacheEntry)
+		c.bytes -= e.row.bytes()
+		delete(c.entries, e.nid)
 	}
-	c.entries[nid] = c.order.PushFront(&cacheEntry{nid: nid, row: append([]float32(nil), row...)})
+	c.entries[nid] = c.order.PushFront(&cacheEntry{nid: nid, row: row})
+	c.bytes += row.bytes()
 }
 
 // len returns the resident node count.
@@ -70,4 +83,12 @@ func (c *featureCache) len() int {
 		return 0
 	}
 	return c.order.Len()
+}
+
+// residentBytes returns the resident row bytes.
+func (c *featureCache) residentBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.bytes
 }

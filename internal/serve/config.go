@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"betty/internal/obs"
+	"betty/internal/tensor"
 )
 
 // Config holds every knob of the serving path. The zero value is not
@@ -42,6 +43,15 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxRequestNodes bounds the seed nodes of a single request.
 	MaxRequestNodes int
+
+	// Quant selects the at-rest storage format of the serving path's
+	// weights and cached feature rows (DESIGN.md §13): QuantOff (exact
+	// f32, the default), QuantF16, or QuantInt8. The forward kernels stay
+	// exact f32 either way — quantized storage is dequantized into pooled
+	// scratch before each batch — so QuantOff serves bitwise what an
+	// unquantized deployment serves, and the compressed modes trade the
+	// documented round-trip error for a smaller resident model.
+	Quant tensor.QuantMode
 
 	// CapacityBytes is the device memory budget the planner enforces per
 	// micro-batch (forward-only accounting; see memory.Breakdown.ForwardPeak).
@@ -109,6 +119,11 @@ func (c *Config) Validate() error {
 	if c.SafetyMargin < 0 {
 		return fmt.Errorf("serve: SafetyMargin must be non-negative (got %v)", c.SafetyMargin)
 	}
+	switch c.Quant {
+	case tensor.QuantOff, tensor.QuantF16, tensor.QuantInt8:
+	default:
+		return fmt.Errorf("serve: unknown quant mode %d", int(c.Quant))
+	}
 	return nil
 }
 
@@ -123,6 +138,10 @@ const (
 	EnvTimeoutMS       = "BETTY_SERVE_TIMEOUT_MS"
 	EnvMaxRequestNodes = "BETTY_SERVE_MAX_REQUEST_NODES"
 	EnvCapacityMiB     = "BETTY_SERVE_CAPACITY_MIB"
+	// EnvQuant selects the quantized serving storage (off/f16/int8); it is
+	// deliberately not BETTY_SERVE_-prefixed because it names a repo-wide
+	// numerics contract (DESIGN.md §13), not a batching policy.
+	EnvQuant = "BETTY_QUANT"
 )
 
 // ApplyEnv overlays environment overrides on c, reading variables through
@@ -156,6 +175,13 @@ func (c *Config) ApplyEnv(getenv func(string) string) error {
 			return fmt.Errorf("serve: %s=%d: must be >= %d", ev.name, v, ev.min)
 		}
 		ev.set(v)
+	}
+	if raw := getenv(EnvQuant); raw != "" {
+		mode, err := tensor.ParseQuantMode(raw)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		c.Quant = mode
 	}
 	return nil
 }

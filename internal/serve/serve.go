@@ -78,6 +78,7 @@ type Server struct {
 	clock   obs.Clock
 	obs     *obs.Registry
 	cache   *featureCache
+	quant   *quantStore
 
 	queue chan *request
 
@@ -109,6 +110,10 @@ func New(ds *dataset.Dataset, model any, cfg Config) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = obs.RealClock()
 	}
+	qs, err := newQuantStore(model, cfg.Quant)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:     cfg,
 		ds:      ds,
@@ -118,10 +123,15 @@ func New(ds *dataset.Dataset, model any, cfg Config) (*Server, error) {
 		part:    reg.BettyBatch{Seed: cfg.Seed ^ 0xb7, Obs: cfg.Obs},
 		clock:   cfg.Clock,
 		obs:     cfg.Obs,
-		cache:   newFeatureCache(cfg.CacheNodes),
+		cache:   newFeatureCache(cfg.CacheNodes, cfg.Quant),
+		quant:   qs,
 		queue:   make(chan *request, cfg.QueueDepth),
 	}
 	s.sampler.Obs = cfg.Obs
+	if qs != nil {
+		s.obs.Set("serve.quant_weight_bytes", qs.EncBytes)
+		s.obs.Set("serve.quant_weight_f32_bytes", qs.F32Bytes)
+	}
 	return s, nil
 }
 
@@ -369,6 +379,12 @@ func (s *Server) scoreUnion(union []int32) ([][]float32, error) {
 		s.obs.Set("serve.max_est_peak_bytes", s.maxEstPeak)
 	}
 
+	// Quantized deployments keep only encoded weights between batches;
+	// materialize the round-tripped f32 weights for this batch's forwards
+	// and return the scratch to the pool on the way out.
+	s.quant.install()
+	defer s.quant.uninstall()
+
 	scores := make([][]float32, len(union))
 	for gi, micro := range plan.Micro {
 		feats := s.gather(micro[0].SrcNID)
@@ -392,28 +408,33 @@ func (s *Server) scoreUnion(union []int32) ([][]float32, error) {
 }
 
 // gather stages the input features for the given node IDs through the LRU
-// cache (when enabled). Cached rows are copies of the host feature matrix,
-// so hit-or-miss never changes the staged bytes.
+// cache (when enabled). Under QuantOff rows are exact copies of the host
+// feature matrix; under a quantized mode every staged row — hit or miss —
+// is the codec round-trip of the host row, so in all modes cache state
+// never changes the staged bytes.
 func (s *Server) gather(nids []int32) *tensor.Tensor {
-	if s.cache == nil {
+	if s.cache == nil && s.cfg.Quant == tensor.QuantOff {
 		return s.ds.GatherFeatures(nids)
 	}
 	out := tensor.New(len(nids), s.ds.FeatureDim())
 	var hits, misses int64
 	for i, nid := range nids {
-		if row := s.cache.get(nid); row != nil {
-			copy(out.Row(i), row)
+		if row, ok := s.cache.get(nid); ok {
+			row.decodeInto(out.Row(i))
 			hits++
 			continue
 		}
-		row := s.ds.Features.Row(int(nid))
-		copy(out.Row(i), row)
+		// Miss: encode first, stage the decoded encoding — identical bytes
+		// to a later hit on the same row.
+		row := encodeRow(s.cfg.Quant, s.ds.Features.Row(int(nid)))
+		row.decodeInto(out.Row(i))
 		s.cache.put(nid, row)
 		misses++
 	}
 	s.obs.Add("serve.cache_hits", hits)
 	s.obs.Add("serve.cache_misses", misses)
 	s.obs.Set("serve.cache_nodes", int64(s.cache.len()))
+	s.obs.Set("serve.cache_bytes", s.cache.residentBytes())
 	return out
 }
 

@@ -348,28 +348,33 @@ func TestFeatureCache(t *testing.T) {
 
 // The LRU itself: eviction order, recency refresh, nil safety.
 func TestFeatureCacheLRU(t *testing.T) {
-	c := newFeatureCache(2)
-	c.put(1, []float32{1})
-	c.put(2, []float32{2})
-	if c.get(1) == nil { // 1 becomes most recent
+	row := func(v float32) quantRow { return encodeRow(tensor.QuantOff, []float32{v}) }
+	hit := func(nid int32, c *featureCache) bool { _, ok := c.get(nid); return ok }
+	c := newFeatureCache(2, tensor.QuantOff)
+	c.put(1, row(1))
+	c.put(2, row(2))
+	if !hit(1, c) { // 1 becomes most recent
 		t.Fatal("miss on resident node")
 	}
-	c.put(3, []float32{3}) // evicts 2
-	if c.get(2) != nil {
+	c.put(3, row(3)) // evicts 2
+	if hit(2, c) {
 		t.Fatal("LRU kept the least recently used entry")
 	}
-	if c.get(1) == nil || c.get(3) == nil {
+	if !hit(1, c) || !hit(3, c) {
 		t.Fatal("LRU evicted a recent entry")
 	}
 	if c.len() != 2 {
 		t.Fatalf("len %d, want 2", c.len())
 	}
+	if c.residentBytes() != 8 { // two one-float rows
+		t.Fatalf("residentBytes %d, want 8", c.residentBytes())
+	}
 	var nilCache *featureCache
-	if nilCache.get(1) != nil || nilCache.len() != 0 {
+	if hit(1, nilCache) || nilCache.len() != 0 || nilCache.residentBytes() != 0 {
 		t.Fatal("nil cache misbehaved")
 	}
-	nilCache.put(1, []float32{1}) // must not panic
-	if newFeatureCache(0) != nil {
+	nilCache.put(1, row(1)) // must not panic
+	if newFeatureCache(0, tensor.QuantOff) != nil {
 		t.Fatal("zero-capacity cache not disabled")
 	}
 }

@@ -415,38 +415,11 @@ func (tp *Tape) AddBias(a, b *Var) *Var {
 			AddInto(a.grad(), out.Grad)
 		}
 		if b.requiresGrad {
-			// The bias gradient is a column-sum over rows: each shard sums
-			// its rows into a private partial, and partials fold into the
-			// gradient in ascending shard order — the shard structure
-			// depends only on (m, grain), so the reduction tree is fixed.
-			g := b.grad()
-			grain := elemRowGrain(n)
-			nShards := parallel.NumShards(m, grain)
-			if nShards <= 1 {
-				for i := 0; i < m; i++ {
-					row := out.Grad.Row(i)
-					for j, v := range row {
-						g.Data[j] += v
-					}
-				}
-				return
-			}
-			partials := make([]float32, nShards*n)
-			parallel.For(m, grain, func(lo, hi int) {
-				p := partials[(lo/grain)*n : (lo/grain+1)*n]
-				for i := lo; i < hi; i++ {
-					row := out.Grad.Row(i)
-					for j, v := range row {
-						p[j] += v
-					}
-				}
-			})
-			for s := 0; s < nShards; s++ {
-				p := partials[s*n : (s+1)*n]
-				for j, v := range p {
-					g.Data[j] += v
-				}
-			}
+			// The bias gradient is a column-sum over rows folded from
+			// per-shard partials in ascending shard order; the partials live
+			// in the tape's pooled arena (see addBiasGrad in fused.go, which
+			// shares the exact reduction with LinearBiasReLU's backward).
+			addBiasGrad(tp, b.grad(), out.Grad)
 		}
 	})
 	return out

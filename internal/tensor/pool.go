@@ -153,6 +153,19 @@ func acquire(n int) []float32 {
 	return s
 }
 
+// AcquireScratch returns a zeroed length-n float32 scratch slice drawn from
+// the tape buffer pool (or the heap when pooling is off). It is the
+// tape-free entry point for transient kernel buffers — the quantized serve
+// path dequantizes weight and feature tiles into these between batches.
+// Every AcquireScratch must be paired with a ReleaseScratch (bettyvet's
+// pooldisc analyzer enforces the pairing), and the slice must not be used
+// after release.
+func AcquireScratch(n int) []float32 { return acquire(n) }
+
+// ReleaseScratch returns a scratch slice obtained from AcquireScratch to
+// the pool. Passing nil is a no-op.
+func ReleaseScratch(s []float32) { release(s) }
+
 // release returns a slice to the pool. Slices are binned by the class
 // their capacity fills (floor log2), so any slice stored in class c has
 // cap >= 1<<c and satisfies every acquire routed to that class.

@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"betty/internal/rng"
+)
+
+// TestF16RoundTrip walks every one of the 65536 half bit patterns: decoding
+// to float32 and re-encoding must reproduce the original bits exactly
+// (every half value is exactly representable in single precision, so the
+// codec must be the identity on them). NaNs only need to stay NaN.
+func TestF16RoundTrip(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		v := F16Decode(uint16(h))
+		back := F16Encode(v)
+		exp := h >> 10 & 0x1f
+		mant := h & 0x3ff
+		if exp == 0x1f && mant != 0 { // NaN payloads may canonicalize
+			if back>>10&0x1f != 0x1f || back&0x3ff == 0 {
+				t.Fatalf("half %#04x: NaN decoded to %v re-encoded as %#04x (not NaN)", h, v, back)
+			}
+			continue
+		}
+		if back != uint16(h) {
+			t.Fatalf("half %#04x decoded to %v re-encoded as %#04x", h, v, back)
+		}
+	}
+}
+
+// TestF16ErrorBound checks the documented f16 error bound on random floats
+// in the ranges the serve path quantizes (weights and normalized features):
+// for normal-range values, |decode(encode(v)) - v| <= |v| * 2^-11.
+func TestF16ErrorBound(t *testing.T) {
+	r := rng.New(51)
+	const relBound = 1.0 / (1 << 11)
+	for i := 0; i < 200000; i++ {
+		// Log-uniform magnitudes across the serve-relevant range.
+		mag := math.Exp((r.Float64()*2 - 1) * 10) // e^-10 .. e^10
+		v := float32(mag)
+		if r.Intn(2) == 0 {
+			v = -v
+		}
+		got := F16Decode(F16Encode(v))
+		err := math.Abs(float64(got) - float64(v))
+		// Normal range: relative bound 2^-11. Below 2^-14 the half format
+		// goes subnormal and the bound becomes the absolute quantum 2^-25.
+		bound := math.Abs(float64(v)) * relBound
+		if sub := math.Ldexp(1, -25); bound < sub {
+			bound = sub
+		}
+		if err > bound {
+			t.Fatalf("value %v: round-trip %v, error %g exceeds bound %g", v, got, err, bound)
+		}
+	}
+	// Round-to-nearest-even at the midpoint: 1 + 2^-11 is exactly halfway
+	// between 1 and 1+2^-10 and must round to the even significand (1.0).
+	mid := float32(1) + 1.0/(1<<11)
+	//bettyvet:ok floateq rounding claim is exact by construction: the midpoint must round to exactly 1.0
+	if got := F16Decode(F16Encode(mid)); got != 1 {
+		t.Fatalf("midpoint %v rounded to %v, want 1 (nearest even)", mid, got)
+	}
+	three := float32(1) + 3.0/(1<<11) // halfway, odd low bit: rounds up
+	//bettyvet:ok floateq rounding claim is exact by construction: the midpoint must round up to exactly 1+2^-9... the next even significand
+	if want := float32(1) + 2.0/(1<<10); F16Decode(F16Encode(three)) != want {
+		t.Fatalf("midpoint %v rounded to %v, want %v", three, F16Decode(F16Encode(three)), want)
+	}
+}
+
+// TestInt8RoundTrip checks the documented int8 bound: per row,
+// |decode(encode(v)) - v| <= scale/2 with scale = maxabs(row)/127, and
+// all-zero rows survive exactly via the zero-scale sentinel.
+func TestInt8RoundTrip(t *testing.T) {
+	r := rng.New(52)
+	const cols = 137
+	for trial := 0; trial < 2000; trial++ {
+		row := make([]float32, cols)
+		var maxAbs float64
+		for j := range row {
+			row[j] = float32((r.Float64()*2 - 1) * math.Exp((r.Float64()*2-1)*5))
+			if a := math.Abs(float64(row[j])); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		q := make([]int8, cols)
+		scale := Int8EncodeRow(q, row)
+		wantScale := maxAbs / 127
+		if math.Abs(float64(scale)-wantScale) > wantScale*1e-6 {
+			t.Fatalf("scale %v, want maxabs/127 = %v", scale, wantScale)
+		}
+		dec := make([]float32, cols)
+		Int8DecodeRow(dec, q, scale)
+		// scale/2 with a one-ulp margin for the f32 scale itself.
+		bound := float64(scale)/2 + float64(scale)*1e-6
+		for j := range row {
+			if err := math.Abs(float64(dec[j]) - float64(row[j])); err > bound {
+				t.Fatalf("trial %d col %d: value %v decoded %v, error %g exceeds scale/2 = %g",
+					trial, j, row[j], dec[j], err, bound)
+			}
+		}
+	}
+	// All-zero row: zero-scale sentinel, exact zeros back.
+	zero := make([]float32, cols)
+	q := make([]int8, cols)
+	if s := Int8EncodeRow(q, zero); s != 0 {
+		t.Fatalf("all-zero row got scale %v, want 0", s)
+	}
+	dec := make([]float32, cols)
+	dec[0] = 99 // must be overwritten
+	Int8DecodeRow(dec, q, 0)
+	for j, v := range dec {
+		if v != 0 {
+			t.Fatalf("zero-sentinel decode col %d = %v, want 0", j, v)
+		}
+	}
+}
+
+// TestQuantTensorDecode round-trips whole tensors through both formats and
+// the pooled scratch path, checking shape plumbing and the byte accounting.
+func TestQuantTensorDecode(t *testing.T) {
+	r := rng.New(53)
+	src := randTensor(r, 57, 33)
+	if q := Quantize(src, QuantOff); q != nil {
+		t.Fatalf("QuantOff must return nil, got %+v", q)
+	}
+	for _, mode := range []QuantMode{QuantF16, QuantInt8} {
+		q := Quantize(src, mode)
+		if q.Rows != src.RowsN || q.Cols != src.ColsN {
+			t.Fatalf("%v: shape %dx%d, want %dx%d", mode, q.Rows, q.Cols, src.RowsN, src.ColsN)
+		}
+		if q.Bytes() >= int64(src.Len())*4 {
+			t.Fatalf("%v: quantized bytes %d not smaller than f32 %d", mode, q.Bytes(), src.Len()*4)
+		}
+		dst := AcquireScratch(src.Len())
+		q.DecodeInto(dst)
+		for i, v := range src.Data {
+			err := math.Abs(float64(dst[i]) - float64(v))
+			var bound float64
+			if mode == QuantF16 {
+				bound = math.Abs(float64(v))/(1<<11) + math.Ldexp(1, -25)
+			} else {
+				row := i / src.ColsN
+				var maxAbs float64
+				for _, rv := range src.Row(row) {
+					if a := math.Abs(float64(rv)); a > maxAbs {
+						maxAbs = a
+					}
+				}
+				bound = maxAbs/254 + maxAbs*1e-6
+			}
+			if err > bound {
+				t.Fatalf("%v elem %d: %v decoded %v, error %g exceeds %g", mode, i, v, dst[i], err, bound)
+			}
+		}
+		ReleaseScratch(dst)
+	}
+}
+
+// TestParseQuantMode table-tests the BETTY_QUANT parser: valid spellings
+// map to their modes, everything else fails loudly.
+func TestParseQuantMode(t *testing.T) {
+	good := map[string]QuantMode{"": QuantOff, "off": QuantOff, "f16": QuantF16, "int8": QuantInt8}
+	for in, want := range good {
+		got, err := ParseQuantMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseQuantMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"0", "on", "fp16", "INT8", "int-8", "half"} {
+		if _, err := ParseQuantMode(in); err == nil {
+			t.Fatalf("ParseQuantMode(%q) succeeded, want error", in)
+		}
+	}
+}

@@ -123,10 +123,14 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // rowGrain sizes the row blocks the parallel kernels hand to each worker:
-// large enough that a shard amortizes goroutine overhead (~64k multiply-
-// adds), small enough that big matrices fan out across every core. It is a
-// function of the row cost only — never of the worker count — so the shard
-// structure, and with it the result, is identical for any parallelism.
+// large enough that a shard amortizes dispatch overhead (~64k multiply-
+// adds), small enough that big matrices fan out across every core. Each
+// kernel passes its *own* per-output-row multiply-add count — the forward
+// kernel's K·N, MatMulTA's K·N with K = rows(a), MatMulTB's K·M — rather
+// than sharing the forward kernel's formula, so shards carry comparable
+// work in every variant. It is a function of the row cost only — never of
+// the worker count — so the shard structure, and with it the result, is
+// identical for any parallelism.
 func rowGrain(flopsPerRow int) int {
 	const target = 1 << 16
 	g := target / (flopsPerRow + 1)
@@ -136,28 +140,83 @@ func rowGrain(flopsPerRow int) int {
 	return g
 }
 
-// matMulInto computes out (+)= a @ b with an ikj loop order that keeps the
-// inner loop contiguous for both b and out. When accum is true the product
-// is added to out instead of overwriting it. Row blocks run in parallel;
-// each worker owns a disjoint range of output rows and accumulates in the
-// same k order as the serial kernel, so the result is bitwise-identical
-// for any worker count.
+// matMulInto computes out (+)= a @ b. When accum is true the product is
+// added to out instead of overwriting it.
+//
+// The kernel is register-blocked over k: four consecutive multipliers of a
+// row of a are held in registers and applied to four rows of b in one pass
+// over the output row, so each output element is loaded and stored once
+// per four accumulation terms instead of once per term. The adds within a
+// block are explicitly sequenced ascending in k — v = ((v+p0)+p1)+p2)+p3 —
+// so every output element accumulates its terms in exactly the serial
+// ikj order: the tiling changes memory traffic, never a single rounding.
+// Row blocks run in parallel; each worker owns a disjoint range of output
+// rows, so the result is bitwise-identical for any worker count.
 func matMulInto(out, a, b *Tensor, accum bool) {
 	n := b.ColsN
+	kDim := a.ColsN
 	if !accum {
 		out.Zero()
 	}
-	parallel.For(a.RowsN, rowGrain(a.ColsN*n), func(lo, hi int) {
+	parallel.For(a.RowsN, rowGrain(kDim*n), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
 			orow := out.Row(i)
-			for k := 0; k < a.ColsN; k++ {
+			k := 0
+			for ; k+4 <= kDim; k += 4 {
+				a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				b0 := b.Data[k*n : k*n+n]
+				b1 := b.Data[(k+1)*n : (k+1)*n+n]
+				b2 := b.Data[(k+2)*n : (k+2)*n+n]
+				b3 := b.Data[(k+3)*n : (k+3)*n+n]
+				//bettyvet:ok floateq sparsity fast path: skipping exactly-zero multipliers is value-preserving for finite inputs
+				if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+					for j := range orow {
+						v := orow[j]
+						v += a0 * b0[j]
+						v += a1 * b1[j]
+						v += a2 * b2[j]
+						v += a3 * b3[j]
+						orow[j] = v
+					}
+					continue
+				}
+				//bettyvet:ok floateq mixed block: zero multipliers must be skipped term-by-term, not multiplied through — 0*Inf is NaN and +0 can flip a -0 accumulator
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				// Mixed block: keep the single pass over the output row but
+				// guard each term, so the per-element term sequence is exactly
+				// the serial kernel's (zero terms skipped, ascending k). The
+				// guards are j-invariant, so they predict perfectly.
+				for j := range orow {
+					v := orow[j]
+					//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
+					if a0 != 0 {
+						v += a0 * b0[j]
+					}
+					//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
+					if a1 != 0 {
+						v += a1 * b1[j]
+					}
+					//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
+					if a2 != 0 {
+						v += a2 * b2[j]
+					}
+					//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
+					if a3 != 0 {
+						v += a3 * b3[j]
+					}
+					orow[j] = v
+				}
+			}
+			for ; k < kDim; k++ {
 				av := arow[k]
 				//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
 				if av == 0 {
 					continue
 				}
-				brow := b.Data[k*n : (k+1)*n]
+				brow := b.Data[k*n : k*n+n]
 				for j, bv := range brow {
 					orow[j] += av * bv
 				}
@@ -174,30 +233,85 @@ func MatMulTA(a, b *Tensor) *Tensor {
 }
 
 // matMulTAInto computes out (+)= aᵀ @ b. Workers own disjoint ranges of
-// output rows (= columns of a). Every worker walks k in ascending order,
-// exactly like the serial kernel, so each output element accumulates its
-// terms in the identical order. With accum the product is added to out —
-// the backward pass writes straight into gradient tensors without a
-// temporary.
+// output rows (= columns of a). The loop is output-row-outer — earlier
+// revisions walked k in the outer loop, which made every shard pay a full
+// pass over a and b regardless of how few output rows it owned, defeating
+// the grain model for narrow shards. Per output row the kernel blocks k by
+// four (strided a[k][i] loads held in registers, one pass over the output
+// row per block) with the same explicitly sequenced ascending-k adds and
+// per-term zero-skip as the serial kernel, so each output element
+// accumulates its terms in the identical order at any worker count. With
+// accum the product is added to out — the backward pass writes straight
+// into gradient tensors without a temporary.
 func matMulTAInto(out, a, b *Tensor, accum bool) {
 	if a.RowsN != b.RowsN {
 		panic(fmt.Sprintf("tensor: MatMulTA shape mismatch %dx%d ᵀ@ %dx%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
 	}
 	n := b.ColsN
+	m := a.ColsN
+	kDim := a.RowsN
 	if !accum {
 		out.Zero()
 	}
-	parallel.For(a.ColsN, rowGrain(a.RowsN*n), func(lo, hi int) {
-		for k := 0; k < a.RowsN; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := lo; i < hi; i++ {
-				av := arow[i]
+	// flops per output row = kDim*n: row i of the output is a length-kDim
+	// reduction over n-wide b rows, independent of m.
+	parallel.For(m, rowGrain(kDim*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*n : i*n+n]
+			k := 0
+			for ; k+4 <= kDim; k += 4 {
+				a0 := a.Data[k*m+i]
+				a1 := a.Data[(k+1)*m+i]
+				a2 := a.Data[(k+2)*m+i]
+				a3 := a.Data[(k+3)*m+i]
+				b0 := b.Data[k*n : k*n+n]
+				b1 := b.Data[(k+1)*n : (k+1)*n+n]
+				b2 := b.Data[(k+2)*n : (k+2)*n+n]
+				b3 := b.Data[(k+3)*n : (k+3)*n+n]
+				//bettyvet:ok floateq sparsity fast path: skipping exactly-zero multipliers is value-preserving for finite inputs
+				if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+					for j := range orow {
+						v := orow[j]
+						v += a0 * b0[j]
+						v += a1 * b1[j]
+						v += a2 * b2[j]
+						v += a3 * b3[j]
+						orow[j] = v
+					}
+					continue
+				}
+				//bettyvet:ok floateq mixed block: zero multipliers must be skipped term-by-term, not multiplied through — 0*Inf is NaN and +0 can flip a -0 accumulator
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				for j := range orow {
+					v := orow[j]
+					//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
+					if a0 != 0 {
+						v += a0 * b0[j]
+					}
+					//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
+					if a1 != 0 {
+						v += a1 * b1[j]
+					}
+					//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
+					if a2 != 0 {
+						v += a2 * b2[j]
+					}
+					//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
+					if a3 != 0 {
+						v += a3 * b3[j]
+					}
+					orow[j] = v
+				}
+			}
+			for ; k < kDim; k++ {
+				av := a.Data[k*m+i]
 				//bettyvet:ok floateq sparsity fast path: skipping an exactly-zero multiplier is value-preserving for finite inputs
 				if av == 0 {
 					continue
 				}
-				orow := out.Data[i*n : (i+1)*n]
+				brow := b.Data[k*n : k*n+n]
 				for j, bv := range brow {
 					orow[j] += av * bv
 				}
@@ -214,17 +328,48 @@ func MatMulTB(a, b *Tensor) *Tensor {
 }
 
 // matMulTBInto computes out (+)= a @ bᵀ with workers owning disjoint
-// output-row ranges; each dot product is summed in ascending k order for
-// every worker count.
+// output-row ranges. Four output columns (= rows of b) are computed per
+// pass over the a row, so each a element is loaded once per four dot
+// products; every dot product keeps its own accumulator summed in
+// ascending k order, so each output element is the identical left-to-right
+// sum at any worker count and any blocking.
 func matMulTBInto(out, a, b *Tensor, accum bool) {
 	if a.ColsN != b.ColsN {
 		panic(fmt.Sprintf("tensor: MatMulTB shape mismatch %dx%d @ᵀ %dx%d", a.RowsN, a.ColsN, b.RowsN, b.ColsN))
 	}
-	parallel.For(a.RowsN, rowGrain(a.ColsN*b.RowsN), func(lo, hi int) {
+	kDim := a.ColsN
+	// flops per output row = kDim*rows(b): one length-kDim dot product per
+	// row of b, independent of cols(b)'s role in the forward kernel.
+	parallel.For(a.RowsN, rowGrain(kDim*b.RowsN), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Row(i)
 			orow := out.Row(i)
-			for j := 0; j < b.RowsN; j++ {
+			j := 0
+			for ; j+4 <= b.RowsN; j += 4 {
+				b0 := b.Data[j*kDim : j*kDim+kDim]
+				b1 := b.Data[(j+1)*kDim : (j+1)*kDim+kDim]
+				b2 := b.Data[(j+2)*kDim : (j+2)*kDim+kDim]
+				b3 := b.Data[(j+3)*kDim : (j+3)*kDim+kDim]
+				var s0, s1, s2, s3 float32
+				for k, av := range arow {
+					s0 += av * b0[k]
+					s1 += av * b1[k]
+					s2 += av * b2[k]
+					s3 += av * b3[k]
+				}
+				if accum {
+					orow[j] += s0
+					orow[j+1] += s1
+					orow[j+2] += s2
+					orow[j+3] += s3
+				} else {
+					orow[j] = s0
+					orow[j+1] = s1
+					orow[j+2] = s2
+					orow[j+3] = s3
+				}
+			}
+			for ; j < b.RowsN; j++ {
 				brow := b.Row(j)
 				var s float32
 				for k, av := range arow {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"betty/internal/graph"
+	"betty/internal/nn"
 	"betty/internal/parallel"
 	"betty/internal/reg"
 	"betty/internal/sample"
@@ -159,6 +160,78 @@ func TestMicroBatchBitwiseRepeatable(t *testing.T) {
 		}
 		if !bitsEqual(t, ref.weights, wide.weights) {
 			t.Errorf("K=%d: weights change bits between workers=1 and workers=8", k)
+		}
+	}
+}
+
+// runEpochs trains nEpochs full passes over the given pre-sampled batches
+// (each split into 2 Betty micro-batches, one optimizer step per batch) on
+// a fresh identically-seeded runner, and returns the final parameter values.
+func runEpochs(t *testing.T, batches [][]*graph.Block, nEpochs int) [][]float32 {
+	t.Helper()
+	d := testData(t)
+	r := testRunner(t, d, nil)
+	for e := 0; e < nEpochs; e++ {
+		for _, blocks := range batches {
+			last := blocks[len(blocks)-1]
+			groups, err := reg.BettyBatch{Seed: 9}.PartitionBatch(last, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sel := range groups {
+				micro, err := graph.SliceBatch(blocks, sel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scale := float32(micro[len(micro)-1].NumDst) / float32(last.NumDst)
+				if _, err := r.RunMicroBatch(micro, scale); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r.Step()
+		}
+	}
+	var weights [][]float32
+	for _, p := range r.Model.Params() {
+		weights = append(weights, append([]float32(nil), p.Value.Data...))
+	}
+	return weights
+}
+
+// TestFusedTrainingBitwiseEquivalent is the end-to-end contract of the
+// fused kernel tier (DESIGN.md §13): a 3-epoch micro-batched training run
+// with BETTY_FUSED on produces bit-for-bit the same final weights as the
+// unfused primitive-op chains, at any worker count. Fusion is a pure
+// execution-plan change, never a numerics change.
+func TestFusedTrainingBitwiseEquivalent(t *testing.T) {
+	d := testData(t)
+	s := sample.New([]int{5, 5}, 1)
+	var batches [][]*graph.Block
+	for _, lo := range []int{0, 64} {
+		blocks, err := s.Sample(d.Graph, d.TrainIdx[lo:lo+64])
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, blocks)
+	}
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+	defer nn.SetFused(nn.SetFused(true))
+
+	nn.SetFused(false)
+	parallel.SetWorkers(1)
+	ref := runEpochs(t, batches, 3)
+
+	for _, w := range []int{1, 8} {
+		parallel.SetWorkers(w)
+		nn.SetFused(true)
+		fused := runEpochs(t, batches, 3)
+		if !bitsEqual(t, ref, fused) {
+			t.Errorf("workers=%d: fused 3-epoch weights differ in bits from unfused workers=1 run", w)
+		}
+		nn.SetFused(false)
+		plain := runEpochs(t, batches, 3)
+		if !bitsEqual(t, ref, plain) {
+			t.Errorf("workers=%d: unfused 3-epoch weights not bitwise reproducible", w)
 		}
 	}
 }
