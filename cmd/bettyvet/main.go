@@ -1,17 +1,23 @@
 // Command bettyvet type-checks the module and runs the project-specific
 // static analyzers that machine-check the repository's determinism,
-// shard-purity, and pool-discipline invariants (see internal/lint and
-// DESIGN.md §9). It is zero-dependency and fully offline: packages are
-// enumerated with `go list -json` and type-checked from source.
+// shard-purity, pool-discipline, hot-allocation, env-knob, and
+// observability invariants (see internal/lint and DESIGN.md §9/§14). It is
+// zero-dependency and fully offline: packages are enumerated with `go list
+// -json` and type-checked from source; the module-scoped analyzers
+// (dettaint, envreg, obsdisc) additionally build a whole-module call graph
+// and diff the knob registry against the README.
 //
 // Usage:
 //
-//	go run ./cmd/bettyvet [-json] [packages...]
+//	go run ./cmd/bettyvet [-json] [-audit] [packages...]
 //
 // With no package patterns it analyzes ./.... The exit status is 0 when
 // clean, 1 when any diagnostic is reported, and 2 on a load/type error.
 // -json emits the diagnostics as a JSON array (empty when clean) for CI
-// artifact upload.
+// artifact upload. -audit additionally reports stale suppressions —
+// //bettyvet:ok annotations that silence no diagnostic — as findings of
+// the pseudo-analyzer "bettyvet-audit", so excused findings cannot outlive
+// their excuse.
 //
 // Intentional findings are silenced in source with a reasoned annotation
 // on the offending line or the line above it:
@@ -39,6 +45,7 @@ type jsonDiagnostic struct {
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	audit := flag.Bool("audit", false, "also report stale //bettyvet:ok suppressions")
 	flag.Parse()
 
 	cwd, err := os.Getwd()
@@ -46,14 +53,15 @@ func main() {
 		fatal(err)
 	}
 	patterns := flag.Args()
-	pkgs, err := lint.Load(cwd, patterns...)
+	m, err := lint.LoadModule(cwd, patterns...)
 	if err != nil {
 		fatal(err)
 	}
 
-	var diags []lint.Diagnostic
-	for _, p := range pkgs {
-		diags = append(diags, lint.Run(p).Diags...)
+	res := m.Run()
+	diags := res.Diags
+	if *audit {
+		diags = append(diags, res.Stale...)
 	}
 
 	if *jsonOut {

@@ -2,26 +2,31 @@ package lint
 
 import "testing"
 
-// TestRepositoryClean runs the full analyzer suite over the whole module
-// and requires zero active diagnostics: every real finding must be fixed
-// and every intentional one annotated before a change lands. This is the
-// in-tree twin of the CI `go run ./cmd/bettyvet ./...` gate.
+// TestRepositoryClean runs the full analyzer suite — all nine analyzers,
+// local and module-scoped, plus the suppression audit — over the whole
+// module and requires zero active diagnostics and zero stale suppressions:
+// every real finding must be fixed, every intentional one annotated, and
+// every annotation must still be earning its keep. This is the in-tree
+// twin of the CI `go run ./cmd/bettyvet -audit ./...` gate.
 func TestRepositoryClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checking the whole module is not short")
 	}
-	pkgs, err := Load("../..", "./...")
+	m, err := LoadModule("../..", "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean := true
-	for _, p := range pkgs {
-		for _, d := range Run(p).Diags {
-			clean = false
-			t.Errorf("%s", d)
-		}
+	res := m.Run()
+	for _, d := range res.Diags {
+		t.Errorf("%s", d)
 	}
-	if !clean {
+	for _, d := range res.Stale {
+		t.Errorf("%s", d)
+	}
+	if len(res.Diags) > 0 {
 		t.Error("bettyvet must be clean on the committed tree: fix the finding or annotate it with //bettyvet:ok <analyzer> <reason>")
+	}
+	if len(res.Stale) > 0 {
+		t.Error("stale //bettyvet:ok annotations must be removed (go run ./cmd/bettyvet -audit ./...)")
 	}
 }

@@ -25,10 +25,11 @@ var detrandBannedImports = map[string]string{
 	"crypto/rand":  "kernels need reproducible streams, not entropy",
 }
 
-// detrandBannedFuncs are individual wall-clock reads; importing time for
-// durations and formatting stays legal.
-var detrandBannedFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
-
+// runDetrand is a thin wrapper over the shared sink classifier of
+// callgraph.go: it applies the wall-clock classification to every
+// identifier use in a kernel package (dettaint applies the same
+// classification interprocedurally) and keeps the import-level ban, which
+// has no interprocedural analogue.
 func runDetrand(p *Package) []Diagnostic {
 	if !isKernel(p.Path) {
 		return nil
@@ -51,14 +52,18 @@ func runDetrand(p *Package) []Diagnostic {
 	}
 	for id, obj := range p.Info.Uses {
 		fn, ok := obj.(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !detrandBannedFuncs[fn.Name()] {
+		if !ok {
+			continue
+		}
+		kind, detail, isSink := classifySink(fn, p.Path)
+		if !isSink || kind != "wall-clock" {
 			continue
 		}
 		diags = append(diags, Diagnostic{
 			Analyzer: "detrand",
 			Pos:      p.Fset.Position(id.Pos()),
-			Message: fmt.Sprintf("kernel package reads the wall clock via time.%s; "+
-				"kernel results must not depend on time (inject timestamps from the caller)", fn.Name()),
+			Message: fmt.Sprintf("kernel package reads the wall clock via %s; "+
+				"kernel results must not depend on time (inject timestamps from the caller)", detail),
 		})
 	}
 	return diags

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dettaint is the interprocedural successor of detrand/shardpure/mapiter's
+// per-package scans: any function *transitively reachable* from a kernel
+// entry point — the exported API of the tensor, graph, reg, partition,
+// sample, sparse, parallel, and nn packages — must not reach a
+// nondeterministic input, no matter which package the reaching function
+// lives in. The local analyzers keep kernel packages clean; dettaint
+// closes the gap they cannot see: a helper one package away that reads
+// time.Now is invisible to every import-level check yet breaks the same
+// bitwise-reproduction guarantee (PAPER.md §4, DESIGN.md §8).
+//
+// Sinks are the shared classification of callgraph.go — wall-clock reads,
+// the global math/rand stream, worker-count reads, and unsorted map
+// iteration. Sinks inside kernel packages themselves are *not* re-reported
+// (detrand, shardpure, and mapiter already own those, with their more
+// precise local messages); dettaint reports sinks in non-kernel code that
+// kernel entry points reach, and every diagnostic carries the discovery
+// path so the finding is actionable without re-deriving the reachability
+// by hand.
+var Dettaint = &Analyzer{
+	Name: "dettaint",
+	Doc: "forbid nondeterministic inputs (wall clock, global math/rand, worker-count reads, " +
+		"unsorted map iteration) anywhere transitively reachable from kernel entry points, " +
+		"with the call path in the diagnostic",
+	RunModule: runDettaint,
+}
+
+// taintEntryPrefixes are the packages whose exported APIs seed the
+// reachability: the kernel packages plus nn, whose layer forwards sit
+// directly on the training hot path but are not a "kernel" package for the
+// local analyzers.
+var taintEntryPrefixes = append([]string{"betty/internal/nn"}, kernelPrefixes...)
+
+func isTaintEntryPkg(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, pre := range taintEntryPrefixes {
+		if path == pre || strings.HasPrefix(path, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runDettaint(m *Module) []Diagnostic {
+	g := m.CallGraph()
+	var entries []FuncID
+	for _, id := range g.SortedIDs() {
+		n := g.Nodes[id]
+		if n.Exported && isTaintEntryPkg(n.PkgPath) {
+			entries = append(entries, id)
+		}
+	}
+	pred := g.reach(entries)
+
+	var diags []Diagnostic
+	for _, id := range g.SortedIDs() {
+		if _, reachable := pred[id]; !reachable {
+			continue
+		}
+		n := g.Nodes[id]
+		if len(n.Sinks) == 0 {
+			continue
+		}
+		// Kernel-package sinks are owned by the local analyzers; nn (an
+		// entry package but not a kernel package) and everything else a
+		// kernel reaches is dettaint's to report.
+		if isKernel(n.PkgPath) {
+			continue
+		}
+		path := g.pathTo(pred, id)
+		for _, s := range n.Sinks {
+			diags = append(diags, Diagnostic{
+				Analyzer: "dettaint",
+				Pos:      s.Pos,
+				Message: fmt.Sprintf("%s (%s) is reachable from kernel entry point %s; "+
+					"call path: %s; kernel-reachable code must be a pure function of its inputs and seeds",
+					s.Detail, s.Kind, path[0], renderPath(path, s.Detail)),
+			})
+		}
+	}
+	return diags
+}
+
+// renderPath prints entry → ... → sink with short names.
+func renderPath(path []FuncID, sink string) string {
+	parts := make([]string, 0, len(path)+1)
+	for _, id := range path {
+		parts = append(parts, shortFuncID(id))
+	}
+	return strings.Join(append(parts, sink), " → ")
+}
+
+// shortFuncID strips the "betty/internal/" prefix for readability.
+func shortFuncID(id FuncID) string {
+	return strings.TrimPrefix(string(id), "betty/internal/")
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzCallGraphReach fuzzes the breadth-first walk at the core of dettaint
+// over synthetic call graphs decoded from the fuzz input: the predecessor
+// map must agree with an independent depth-first search on exactly which
+// nodes are reachable, every reported path must walk real edges from an
+// entry to its node, and the whole computation must be deterministic —
+// the property the printed taint paths in diagnostics depend on.
+func FuzzCallGraphReach(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 2, 2, 0})
+	f.Add([]byte{3, 3})
+	f.Add([]byte{0, 1, 0, 2, 1, 3, 2, 3, 7, 7})
+	f.Add([]byte{0, 17, 1, 18, 2, 2, 15, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<10 {
+			t.Skip("bounded graph sizes keep the fuzz fast")
+		}
+		g, entries := synthCallGraph(data)
+
+		pred := g.reach(entries)
+		again := g.reach(entries)
+		if len(pred) != len(again) {
+			t.Fatalf("reach is nondeterministic: %d vs %d reachable nodes", len(pred), len(again))
+		}
+		for id, p := range pred {
+			if again[id] != p {
+				t.Fatalf("reach is nondeterministic: pred[%s] = %s then %s", id, p, again[id])
+			}
+		}
+
+		// Independent reachability: iterative DFS over the same edges,
+		// ignoring callees without a body, exactly as reach must.
+		want := make(map[FuncID]bool)
+		var stack []FuncID
+		for _, e := range entries {
+			if _, exists := g.Nodes[e]; exists && !want[e] {
+				want[e] = true
+				stack = append(stack, e)
+			}
+		}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, edge := range g.Nodes[cur].Calls {
+				if _, exists := g.Nodes[edge.Callee]; !exists || want[edge.Callee] {
+					continue
+				}
+				want[edge.Callee] = true
+				stack = append(stack, edge.Callee)
+			}
+		}
+		for id := range want {
+			if _, ok := pred[id]; !ok {
+				t.Errorf("DFS reaches %s but reach does not", id)
+			}
+		}
+		for id := range pred {
+			if !want[id] {
+				t.Errorf("reach claims %s but DFS does not reach it", id)
+			}
+		}
+
+		isEntry := make(map[FuncID]bool)
+		for _, e := range entries {
+			isEntry[e] = true
+		}
+		for id := range pred {
+			path := g.pathTo(pred, id)
+			if len(path) == 0 || path[len(path)-1] != id {
+				t.Fatalf("pathTo(%s) does not end at the node: %v", id, path)
+			}
+			if !isEntry[path[0]] {
+				t.Fatalf("pathTo(%s) does not start at an entry: %v", id, path)
+			}
+			for i := 0; i+1 < len(path); i++ {
+				from, ok := g.Nodes[path[i]]
+				if !ok {
+					t.Fatalf("pathTo(%s) visits unknown node %s", id, path[i])
+				}
+				found := false
+				for _, edge := range from.Calls {
+					if edge.Callee == path[i+1] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("pathTo(%s) uses nonexistent edge %s → %s", id, path[i], path[i+1])
+				}
+			}
+		}
+	})
+}
+
+// synthCallGraph decodes data into a fixed-population graph: byte pairs are
+// (caller, callee) edges over 16 nodes, with the callee space widened to 20
+// so some edges dangle — the stdlib-leaf case reach must skip. The entry
+// set is node 0 plus a data-derived node, mirroring dettaint's multi-entry
+// seeding.
+func synthCallGraph(data []byte) (*CallGraph, []FuncID) {
+	const nodes, calleeSpace = 16, 20
+	id := func(i int) FuncID { return FuncID(fmt.Sprintf("pkg%d.F%d", i%4, i)) }
+	g := &CallGraph{Nodes: make(map[FuncID]*FuncNode)}
+	for i := 0; i < nodes; i++ {
+		g.Nodes[id(i)] = &FuncNode{
+			ID:      id(i),
+			PkgPath: fmt.Sprintf("pkg%d", i%4),
+			Name:    fmt.Sprintf("F%d", i),
+		}
+	}
+	for i := 0; i+1 < len(data); i += 2 {
+		from := g.Nodes[id(int(data[i])%nodes)]
+		from.Calls = append(from.Calls, Edge{Callee: id(int(data[i+1]) % calleeSpace)})
+	}
+	for nid := range g.Nodes {
+		g.order = append(g.order, nid)
+	}
+	entries := []FuncID{id(0)}
+	if len(data) > 0 {
+		entries = append(entries, id(int(data[0])%nodes))
+	}
+	return g, entries
+}

@@ -48,17 +48,105 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// An Analyzer inspects one type-checked package and reports findings.
+// An Analyzer reports findings at one of two scopes: local analyzers (Run)
+// inspect one type-checked package at a time; module analyzers (RunModule)
+// see the whole module at once — the call graph, every package, and the
+// README — and catch what no single-package view can (a sink one call away
+// from a kernel, a knob missing from the doc table). Exactly one of Run
+// and RunModule is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Diagnostic
+	Name      string
+	Doc       string
+	Run       func(p *Package) []Diagnostic
+	RunModule func(m *Module) []Diagnostic
 }
 
-// Analyzers returns the full bettyvet suite in report order.
+// Analyzers returns the full bettyvet suite in report order: the five
+// local analyzers from PR 3, then the four module-scoped analyzers built
+// on the whole-module call graph.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detrand, Shardpure, Mapiter, Pooldisc, Floateq}
+	return []*Analyzer{Detrand, Shardpure, Mapiter, Pooldisc, Floateq,
+		Dettaint, Hotalloc, Envreg, Obsdisc}
 }
+
+// Module is the whole-module analysis view: every loaded package plus the
+// lazily built call graph and the README content envreg diffs its knob
+// registry against.
+type Module struct {
+	Pkgs []*Package
+	// KnobDoc is the README.md content ("" skips the registry/doc diff —
+	// subset runs and golden tests set it explicitly).
+	KnobDoc string
+
+	graph *CallGraph
+}
+
+// NewModule wraps pkgs for module-scoped analysis.
+func NewModule(pkgs []*Package) *Module { return &Module{Pkgs: pkgs} }
+
+// CallGraph returns the module's static call graph, building it on first
+// use.
+func (m *Module) CallGraph() *CallGraph {
+	if m.graph == nil {
+		m.graph = buildCallGraph(m.Pkgs)
+	}
+	return m.graph
+}
+
+// Run executes the full analyzer suite — local analyzers over every
+// package, module analyzers once — applies suppressions across the whole
+// module, and audits them: an annotation that silences no diagnostic is
+// itself reported in Stale, so //bettyvet:ok comments cannot outlive the
+// finding they excused.
+func (m *Module) Run() Result {
+	var all []Diagnostic
+	for _, a := range Analyzers() {
+		if a.Run != nil {
+			for _, p := range m.Pkgs {
+				all = append(all, a.Run(p)...)
+			}
+		}
+		if a.RunModule != nil {
+			all = append(all, a.RunModule(m)...)
+		}
+	}
+	set := make(suppressionSet)
+	var anns []*suppAnnotation
+	var res Result
+	for _, p := range m.Pkgs {
+		pAnns, malformed := parseAnnotations(p, set)
+		anns = append(anns, pAnns...)
+		res.Diags = append(res.Diags, malformed...)
+	}
+	for _, d := range all {
+		if ann := set.covering(d); ann != nil {
+			ann.used = true
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Diags = append(res.Diags, d)
+		}
+	}
+	for _, ann := range anns {
+		if ann.used {
+			continue
+		}
+		res.Stale = append(res.Stale, Diagnostic{
+			Analyzer: auditAnalyzer,
+			Pos:      ann.pos,
+			Message: fmt.Sprintf("stale suppression: //%s %s silences no diagnostic here; "+
+				"remove the annotation (or fix it to sit on the offending line or the line above)",
+				suppressPrefix, ann.analyzer),
+		})
+	}
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	sortDiags(res.Stale)
+	return res
+}
+
+// auditAnalyzer is the pseudo-analyzer name stale-suppression findings are
+// reported under (bettyvet -audit).
+const auditAnalyzer = "bettyvet-audit"
 
 // kernelPrefixes are the import paths of the kernel packages whose outputs
 // must be bitwise-deterministic. Scoped analyzers apply to these packages
@@ -105,24 +193,35 @@ func (p *Package) isTestFile(f *ast.File) bool {
 }
 
 // Result separates the findings that stand from those silenced by a
-// reasoned //bettyvet:ok annotation; both are position-sorted. Suppressed
-// findings are kept so tests can assert a suppression actually matched a
-// finding rather than the analyzer missing the line.
+// reasoned //bettyvet:ok annotation; all slices are position-sorted.
+// Suppressed findings are kept so tests can assert a suppression actually
+// matched a finding rather than the analyzer missing the line. Stale holds
+// the audit findings of Module.Run: annotations that silenced nothing.
 type Result struct {
 	Diags      []Diagnostic
 	Suppressed []Diagnostic
+	Stale      []Diagnostic
 }
 
-// Run executes the full analyzer suite on p and applies suppressions.
+// Run executes the local analyzers on p and applies suppressions. Module
+// analyzers (and the suppression audit) need the whole module — use
+// Module.Run; this per-package entry point exists for focused tests and
+// for comparing the local analyzers' reach against the interprocedural
+// ones.
 func Run(p *Package) Result {
 	var all []Diagnostic
 	for _, a := range Analyzers() {
+		if a.Run == nil {
+			continue
+		}
 		all = append(all, a.Run(p)...)
 	}
-	sup, malformed := parseSuppressions(p)
+	set := make(suppressionSet)
+	_, malformed := parseAnnotations(p, set)
 	res := Result{Diags: malformed}
 	for _, d := range all {
-		if sup.covers(d) {
+		if ann := set.covering(d); ann != nil {
+			ann.used = true
 			res.Suppressed = append(res.Suppressed, d)
 		} else {
 			res.Diags = append(res.Diags, d)
@@ -157,9 +256,17 @@ type suppressionKey struct {
 	analyzer string
 }
 
-type suppressionSet map[suppressionKey]bool
+// suppAnnotation is one parsed //bettyvet:ok comment. used flips when a
+// diagnostic matches it, so Module.Run can audit for stale annotations.
+type suppAnnotation struct {
+	analyzer string
+	pos      token.Position
+	used     bool
+}
 
-func (s suppressionSet) covers(d Diagnostic) bool {
+type suppressionSet map[suppressionKey]*suppAnnotation
+
+func (s suppressionSet) covering(d Diagnostic) *suppAnnotation {
 	return s[suppressionKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
 }
 
@@ -169,16 +276,16 @@ func (s suppressionSet) covers(d Diagnostic) bool {
 // own line above it.
 const suppressPrefix = "bettyvet:ok"
 
-// parseSuppressions collects every //bettyvet:ok annotation in p. Malformed
-// annotations — unknown analyzer or missing reason — are returned as
-// diagnostics of the pseudo-analyzer "bettyvet" so a suppression can never
-// silently rot into a no-op.
-func parseSuppressions(p *Package) (suppressionSet, []Diagnostic) {
+// parseAnnotations collects every //bettyvet:ok annotation in p into set
+// and returns the parsed annotations plus malformed ones — unknown
+// analyzer or missing reason — as diagnostics of the pseudo-analyzer
+// "bettyvet", so a suppression can never silently rot into a no-op.
+func parseAnnotations(p *Package, set suppressionSet) ([]*suppAnnotation, []Diagnostic) {
 	known := make(map[string]bool)
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
-	set := make(suppressionSet)
+	var anns []*suppAnnotation
 	var malformed []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
@@ -205,13 +312,15 @@ func parseSuppressions(p *Package) (suppressionSet, []Diagnostic) {
 					})
 					continue
 				}
+				ann := &suppAnnotation{analyzer: fields[0], pos: pos}
+				anns = append(anns, ann)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					set[suppressionKey{pos.Filename, line, fields[0]}] = true
+					set[suppressionKey{pos.Filename, line, fields[0]}] = ann
 				}
 			}
 		}
 	}
-	return set, malformed
+	return anns, malformed
 }
 
 func analyzerNames() string {

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Obsdisc is pooldisc's sibling for the observability layer: the
+// instrumentation contract of DESIGN.md §10 is only self-enforcing when
+// spans actually End (an unpaired span never feeds its phase histogram,
+// silently biasing every span.<phase>_ns percentile) and when metric reads
+// name metrics that something writes (CounterValue of a typo'd name
+// returns a well-formed zero forever). Two rules:
+//
+//  1. Span pairing — a function that binds obs.Registry.StartSpan's result
+//     (chained SetInt calls included) must call End on it, or visibly hand
+//     ownership away: return it, store it in a struct field, or pass it to
+//     a callee. A StartSpan result that is discarded outright can never be
+//     ended and is always flagged.
+//  2. Registration before use — every CounterValue/GaugeValue read of a
+//     literal metric name must name a metric some code in the module
+//     registers or writes (Counter, Gauge, HistogramWith, Add, Set,
+//     Observe). Span histograms ("span.<phase>_ns") are written implicitly
+//     by End and are exempt.
+//
+// The obs package itself is exempt — it is the implementation — and so are
+// its tests; reads in other packages' tests are checked, because a typo'd
+// assertion passes vacuously, which is precisely the rot this rule exists
+// to stop.
+var Obsdisc = &Analyzer{
+	Name: "obsdisc",
+	Doc: "require every obs span bound from StartSpan to be Ended or ownership-transferred, " +
+		"and every CounterValue/GaugeValue read to name a metric the module writes",
+	RunModule: runObsdisc,
+}
+
+const obsPkg = "betty/internal/obs"
+
+// obsWriteMethods are the Registry methods that create or write a metric.
+var obsWriteMethods = map[string]bool{
+	"Add": true, "Set": true, "Observe": true,
+	"Counter": true, "Gauge": true, "HistogramWith": true,
+}
+
+// obsReadMethods are the Registry methods that read without creating.
+var obsReadMethods = map[string]bool{"CounterValue": true, "GaugeValue": true}
+
+func runObsdisc(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	written := make(map[string]bool)
+	type read struct {
+		name string
+		pos  ast.Node
+		pkg  *Package
+	}
+	var reads []read
+
+	for _, p := range m.Pkgs {
+		if strings.TrimSuffix(p.Path, "_test") == obsPkg {
+			continue
+		}
+		for _, f := range p.Files {
+			testFile := p.isTestFile(f)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !testFile {
+					diags = append(diags, spanPairing(p, fd)...)
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := funcObj(p.Info, call)
+					if fn == nil || !isMethodOn(fn, obsPkg, "Registry", fn.Name()) || len(call.Args) == 0 {
+						return true
+					}
+					name, isLit := stringLiteral(call.Args[0])
+					if !isLit {
+						return true
+					}
+					switch {
+					case obsWriteMethods[fn.Name()]:
+						written[name] = true
+					case obsReadMethods[fn.Name()]:
+						reads = append(reads, read{name: name, pos: call, pkg: p})
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	sort.Slice(reads, func(i, j int) bool { return reads[i].name < reads[j].name })
+	for _, r := range reads {
+		if written[r.name] || strings.HasPrefix(r.name, "span.") {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "obsdisc",
+			Pos:      r.pkg.pos(r.pos),
+			Message: fmt.Sprintf("metric %q is read but nothing in the module registers or writes it: "+
+				"a typo'd name reads zero forever; register the metric or fix the name", r.name),
+		})
+	}
+	return diags
+}
+
+// spanPairing enforces rule 1 on one function.
+func spanPairing(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	owned := make(map[types.Object]ast.Node)
+	ended := make(map[types.Object]bool)
+	transferred := make(map[types.Object]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				if !isSpanChain(p, rhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(s.Lhs[i]).(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						diags = append(diags, Diagnostic{
+							Analyzer: "obsdisc",
+							Pos:      p.pos(s),
+							Message: "obs span discarded at creation: a span that is never Ended " +
+								"skews every span.<phase>_ns histogram; bind it and call End",
+						})
+						continue
+					}
+					owned[p.Info.ObjectOf(lhs)] = s
+				case *ast.SelectorExpr:
+					// Field store at creation: ownership lives with the struct.
+				}
+			}
+		case *ast.ExprStmt:
+			if isSpanChain(p, s.X) {
+				diags = append(diags, Diagnostic{
+					Analyzer: "obsdisc",
+					Pos:      p.pos(s),
+					Message: "obs span discarded at creation: a span that is never Ended " +
+						"skews every span.<phase>_ns histogram; bind it and call End",
+				})
+			}
+		case *ast.CallExpr:
+			if fn := funcObj(p.Info, s); isMethodOn(fn, obsPkg, "Span", "End") {
+				if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						ended[p.Info.ObjectOf(id)] = true
+					}
+				}
+				return true
+			}
+			// Passing an owned span to a callee transfers responsibility.
+			for _, arg := range s.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if _, isOwned := owned[p.Info.ObjectOf(id)]; isOwned {
+						transferred[p.Info.ObjectOf(id)] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					transferred[p.Info.ObjectOf(id)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Field stores transfer ownership, mirroring pooldisc.
+	for obj, site := range owned {
+		if ended[obj] || transferred[obj] || fieldAssigned(p, fd, obj) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "obsdisc",
+			Pos:      p.pos(site),
+			Message: "obs span bound here but neither Ended nor ownership-transferred in this " +
+				"function: call End (usually defer sp.End()) or visibly hand the span away",
+		})
+	}
+	return diags
+}
+
+// isSpanChain reports whether e is a Registry.StartSpan call, possibly
+// wrapped in chained Span.SetInt calls.
+func isSpanChain(p *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := funcObj(p.Info, call)
+	if isMethodOn(fn, obsPkg, "Registry", "StartSpan") {
+		return true
+	}
+	if isMethodOn(fn, obsPkg, "Span", "SetInt") {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return isSpanChain(p, sel.X)
+		}
+	}
+	return false
+}
+
+// stringLiteral extracts a string literal expression's value.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return name, true
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/types"
+	"strings"
 )
 
 // Shardpure guards the one invariant internal/parallel is built around:
@@ -21,32 +22,31 @@ var Shardpure = &Analyzer{
 	Run: runShardpure,
 }
 
+// runShardpure is a thin wrapper over the shared sink classifier of
+// callgraph.go: the "worker-count" classification (which already exempts
+// internal/parallel itself) applied to every identifier use in a kernel
+// package. dettaint applies the same classification to everything the
+// call graph reaches beyond kernel packages.
 func runShardpure(p *Package) []Diagnostic {
-	if !isKernel(p.Path) || p.Path == "betty/internal/parallel" {
+	if !isKernel(p.Path) {
 		return nil
 	}
 	var diags []Diagnostic
 	for id, obj := range p.Info.Uses {
 		fn, ok := obj.(*types.Func)
-		if !ok || fn.Pkg() == nil {
+		if !ok {
 			continue
 		}
-		var banned bool
-		switch fn.Pkg().Path() {
-		case "runtime":
-			banned = fn.Name() == "NumCPU" || fn.Name() == "GOMAXPROCS"
-		case "betty/internal/parallel":
-			banned = fn.Name() == "Workers"
-		}
-		if !banned {
+		kind, detail, isSink := classifySink(fn, strings.TrimSuffix(p.Path, "_test"))
+		if !isSink || kind != "worker-count" {
 			continue
 		}
 		diags = append(diags, Diagnostic{
 			Analyzer: "shardpure",
 			Pos:      p.Fset.Position(id.Pos()),
-			Message: fmt.Sprintf("%s.%s read in a kernel package; shard boundaries must depend "+
+			Message: fmt.Sprintf("%s read in a kernel package; shard boundaries must depend "+
 				"only on the problem, never the worker count (keep worker awareness inside internal/parallel)",
-				fn.Pkg().Name(), fn.Name()),
+				detail),
 		})
 	}
 	return diags

@@ -1,0 +1,78 @@
+package kernel
+
+import (
+	"betty/internal/parallel"
+	"betty/internal/tensor"
+)
+
+func shardMake(n int, out []int) {
+	parallel.For(n, 16, func(lo, hi int) {
+		tmp := make([]int, hi-lo) // want hotalloc
+		for i := range tmp {
+			tmp[i] = lo + i
+		}
+		copy(out[lo:hi], tmp)
+	})
+}
+
+func shardLiteralAndAppend(n int) [][]int {
+	rows := make([][]int, n)
+	parallel.ForShards([]int{0, n}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := []int{i, i + 1}     // want hotalloc
+			rows[i] = append(row, i+2) // want hotalloc
+		}
+	})
+	return rows
+}
+
+func shardMapReduce(n int) int {
+	return parallel.MapReduce(n, 16, func(lo, hi int) int {
+		seen := map[int]bool{} // want hotalloc
+		for i := lo; i < hi; i++ {
+			seen[i] = true
+		}
+		return len(seen)
+	}, func(a, b int) int { return a + b })
+}
+
+func tapeOpAlloc(tp *tensor.Tape, val *tensor.Tensor) *tensor.Tensor {
+	return tp.Record(val, true, func() {
+		grad := make([]float32, len(val.Data)) // want hotalloc
+		copy(grad, val.Data)
+	})
+}
+
+func okHoisted(n int, out []int) {
+	buf := make([]int, n)
+	parallel.For(n, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[i] = i
+		}
+	})
+	copy(out, buf)
+}
+
+func okPooled(n int, out []float32) {
+	parallel.For(n, 16, func(lo, hi int) {
+		s := tensor.AcquireScratch(hi - lo)
+		copy(out[lo:hi], s)
+		tensor.ReleaseScratch(s)
+	})
+}
+
+func okColdClosure(n int) []int {
+	build := func() []int { return make([]int, n) }
+	return build()
+}
+
+func okAnnotatedShardBuffer(n int, out []int) {
+	parallel.For(n, 16, func(lo, hi int) {
+		//bettyvet:ok hotalloc golden fixture: per-shard private buffer is intentional here // want-sup+1 hotalloc
+		tmp := make([]int, hi-lo)
+		for i := range tmp {
+			tmp[i] = lo + i
+		}
+		copy(out[lo:hi], tmp)
+	})
+}

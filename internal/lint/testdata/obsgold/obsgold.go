@@ -1,0 +1,74 @@
+// Package obsgold is the obsdisc golden fixture: every way a span can be
+// started, ended, handed away, or leaked, plus metric reads that do and do
+// not name a metric the module writes.
+package obsgold
+
+import "betty/internal/obs"
+
+func leak(r *obs.Registry) {
+	sp := r.StartSpan("train_step") // want obsdisc
+	_ = sp
+}
+
+func discard(r *obs.Registry) {
+	r.StartSpan("dropped") // want obsdisc
+}
+
+func discardBlank(r *obs.Registry) {
+	_ = r.StartSpan("blanked") // want obsdisc
+}
+
+func okDeferred(r *obs.Registry) {
+	sp := r.StartSpan("gather").SetInt("nodes", 1)
+	defer sp.End()
+}
+
+func okInline(r *obs.Registry) {
+	sp := r.StartSpan("scatter")
+	sp.End()
+}
+
+func okReturned(r *obs.Registry) *obs.Span {
+	sp := r.StartSpan("handed_off")
+	return sp
+}
+
+func finish(sp *obs.Span) { sp.End() }
+
+func okPassed(r *obs.Registry) {
+	sp := r.StartSpan("delegated")
+	finish(sp)
+}
+
+type stepState struct{ sp *obs.Span }
+
+func okFieldStored(r *obs.Registry, st *stepState) {
+	sp := r.StartSpan("held")
+	st.sp = sp
+}
+
+func okSuppressedLeak(r *obs.Registry) {
+	//bettyvet:ok obsdisc golden fixture: span deliberately leaked to exercise the audit // want-sup+1 obsdisc
+	sp := r.StartSpan("leaky")
+	_ = sp
+}
+
+func readTypo(r *obs.Registry) int64 {
+	return r.CounterValue("serve.requets_total") // want obsdisc
+}
+
+func okReadWritten(r *obs.Registry) int64 {
+	r.Add("serve.requests_total", 1)
+	return r.CounterValue("serve.requests_total")
+}
+
+func okReadGauge(r *obs.Registry) int64 {
+	r.Set("pool.live_bytes", 1)
+	return r.GaugeValue("pool.live_bytes")
+}
+
+// okReadSpanHistogram reads a span-phase histogram: those are written
+// implicitly by Span.End and exempt from the registration rule.
+func okReadSpanHistogram(r *obs.Registry) int64 {
+	return r.GaugeValue("span.train_step_ns")
+}

@@ -1,7 +1,8 @@
 // Package tensor is a minimal stand-in for betty/internal/tensor with just
-// enough API surface (Tensor, Tape, NewTape, Alloc, Release, plus the
-// AcquireScratch/ReleaseScratch pair) for the pooldisc golden tests to
-// type-check against.
+// enough API surface (Tensor, Tape, NewTape, Alloc, Release, Record, plus
+// the AcquireScratch/ReleaseScratch pair) for the pooldisc and hotalloc
+// golden tests to type-check against. Record is the exported twin of the
+// real Tape.record: hotalloc treats both as tape-op closure sites.
 package tensor
 
 type Tensor struct {
@@ -18,6 +19,13 @@ func (tp *Tape) Alloc(rows, cols int) *Tensor {
 }
 
 func (tp *Tape) Release() { tp.owned = tp.owned[:0] }
+
+func (tp *Tape) Record(value *Tensor, needsGrad bool, back func()) *Tensor {
+	if needsGrad {
+		back()
+	}
+	return value
+}
 
 func AcquireScratch(n int) []float32 { return make([]float32, n) }
 

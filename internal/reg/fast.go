@@ -138,17 +138,25 @@ func emitPairs(counts, srcDst []int32, nDst, lo, hi int) []wedge {
 // together with the stable in-shard sort means every edge weight is summed
 // in ascending source order regardless of the worker count.
 func mergeShards(shards [][]wedge, nDst int) (u, v []int32, w []float32) {
-	merged := make([][]wedge, parallel.NumShards(nDst, keyShardGrain))
+	nShards := parallel.NumShards(nDst, keyShardGrain)
+	merged := make([][]wedge, nShards)
+	// Each shard's candidate-stream list lives in a disjoint window of one
+	// backing array allocated up front, so the hot closure itself allocates
+	// nothing.
+	partsBuf := make([][]wedge, nShards*len(shards))
 	parallel.For(nDst, keyShardGrain, func(aLo, aHi int) {
-		parts := make([][]wedge, 0, len(shards))
+		si := aLo / keyShardGrain
+		parts := partsBuf[si*len(shards) : (si+1)*len(shards)]
+		np := 0
 		for _, sh := range shards {
 			lo := sort.Search(len(sh), func(i int) bool { return sh[i].a >= int32(aLo) })
 			hi := sort.Search(len(sh), func(i int) bool { return sh[i].a >= int32(aHi) })
 			if lo < hi {
-				parts = append(parts, sh[lo:hi])
+				parts[np] = sh[lo:hi]
+				np++
 			}
 		}
-		merged[aLo/keyShardGrain] = mergeParts(parts)
+		merged[si] = mergeParts(parts[:np])
 	})
 	total := 0
 	for _, m := range merged {

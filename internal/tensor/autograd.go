@@ -965,13 +965,21 @@ func (tp *Tape) SegmentSoftmax(scores *Var, dst []int32, nSeg int) *Var {
 			val.Data[e] = float32(float64(val.Data[e]) / sums[dst[e]])
 		}
 	})
+	// The per-segment dot-product buffer is hoisted out of the backward
+	// closure (a once-per-op hot path) and zeroed per run instead.
+	var dots []float64
+	if scores.requiresGrad {
+		dots = make([]float64, nSeg)
+	}
 	var out *Var
 	out = tp.record(val, scores.requiresGrad, func() {
 		if scores.requiresGrad {
 			// d s_e = p_e * (g_e - sum_{e' in seg} p_e' g_e'); the same
 			// segment-aligned shards own the per-segment dot products.
 			g := scores.grad()
-			dots := make([]float64, nSeg)
+			for i := range dots {
+				dots[i] = 0
+			}
 			parallel.ForShards(bounds, func(lo, hi int) {
 				for e := lo; e < hi; e++ {
 					dots[dst[e]] += float64(val.Data[e]) * float64(out.Grad.Data[e])

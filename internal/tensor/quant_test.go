@@ -57,7 +57,6 @@ func TestF16ErrorBound(t *testing.T) {
 	// Round-to-nearest-even at the midpoint: 1 + 2^-11 is exactly halfway
 	// between 1 and 1+2^-10 and must round to the even significand (1.0).
 	mid := float32(1) + 1.0/(1<<11)
-	//bettyvet:ok floateq rounding claim is exact by construction: the midpoint must round to exactly 1.0
 	if got := F16Decode(F16Encode(mid)); got != 1 {
 		t.Fatalf("midpoint %v rounded to %v, want 1 (nearest even)", mid, got)
 	}
