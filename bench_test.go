@@ -232,7 +232,10 @@ func benchForwardBackward(b *testing.B, agg nn.Aggregator) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	x := ds.GatherFeatures(blocks[0].SrcNID)
+	x, err := ds.GatherFeatures(blocks[0].SrcNID)
+	if err != nil {
+		b.Fatal(err)
+	}
 	labels := ds.GatherLabels(blocks[len(blocks)-1].DstNID)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

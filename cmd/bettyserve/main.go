@@ -34,9 +34,11 @@ import (
 	"betty/internal/checkpoint"
 	"betty/internal/core"
 	"betty/internal/dataset"
+	"betty/internal/device"
 	"betty/internal/nn"
 	"betty/internal/obs"
 	"betty/internal/serve"
+	"betty/internal/store"
 )
 
 // serveConfig carries every knob of one bettyserve invocation; main fills
@@ -55,6 +57,12 @@ type serveConfig struct {
 	ckpt    string
 	seed    uint64
 	trace   bool
+
+	// storePath serves out-of-core from a packed store (bettytrain -pack)
+	// instead of loading the dataset into RAM; storeBudgetMiB bounds the
+	// shard cache (BETTY_STORE_BUDGET_MIB overrides when set).
+	storePath      string
+	storeBudgetMiB int64
 
 	// getenv resolves the BETTY_SERVE_* overrides (nil = os.Getenv).
 	getenv func(string) string
@@ -83,6 +91,8 @@ func main() {
 	flag.StringVar(&cfg.ckpt, "checkpoint", "", "serve weights from this checkpoint instead of training")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed (weights, sampling, partitioning)")
 	flag.BoolVar(&cfg.trace, "trace", false, "record per-phase spans in /metricsz")
+	flag.StringVar(&cfg.storePath, "store", "", "serve out-of-core from this packed store (bettytrain -pack)")
+	flag.Int64Var(&cfg.storeBudgetMiB, "store-budget", 256, "out-of-core shard-cache budget in MiB")
 	flag.Parse()
 	cfg.lr = float32(*lr)
 
@@ -103,8 +113,32 @@ func run(cfg serveConfig) error {
 	if err != nil {
 		return err
 	}
-	ds, err := dataset.LoadScaled(cfg.dataset, cfg.scale)
-	if err != nil {
+	reg := obs.New(obs.RealClock())
+	reg.SetTracing(cfg.trace)
+
+	var ds *dataset.Dataset
+	if cfg.storePath != "" {
+		st, err := store.Open(cfg.storePath)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		budget := cfg.storeBudgetMiB
+		if mib, err := store.ParseBudgetMiB(os.Getenv("BETTY_STORE_BUDGET_MIB")); err != nil {
+			return err
+		} else if mib > 0 {
+			budget = mib
+		}
+		cache, err := store.NewCache(st, budget*device.MiB, reg)
+		if err != nil {
+			return err
+		}
+		if ds, err = st.Dataset(cache); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "store %s: %d feature shards, cache budget %d MiB\n",
+			cfg.storePath, st.NumShards(), budget)
+	} else if ds, err = dataset.LoadScaled(cfg.dataset, cfg.scale); err != nil {
 		return err
 	}
 	setup, err := buildModel(ds, cfg, fanouts)
@@ -127,8 +161,6 @@ func run(cfg serveConfig) error {
 		}
 	}
 
-	reg := obs.New(obs.RealClock())
-	reg.SetTracing(cfg.trace)
 	scfg := serve.Defaults()
 	scfg.Fanouts = fanouts
 	scfg.Seed = cfg.seed

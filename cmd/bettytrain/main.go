@@ -34,6 +34,7 @@ import (
 	"betty/internal/nn"
 	"betty/internal/obs"
 	"betty/internal/reg"
+	"betty/internal/store"
 )
 
 // runConfig carries every knob of one bettytrain invocation; main fills it
@@ -54,6 +55,19 @@ type runConfig struct {
 	devices     int
 	adaptive    bool
 	seed        uint64
+
+	// pack converts the (synthetic) dataset to the on-disk store format at
+	// this path and exits; shard height comes from BETTY_STORE_SHARD_ROWS.
+	pack string
+	// storePath trains out-of-core from a packed store instead of loading
+	// the dataset into RAM; features stream through a budget-pinned cache.
+	storePath string
+	// storeBudgetMiB bounds the shard cache (BETTY_STORE_BUDGET_MIB
+	// overrides when set).
+	storeBudgetMiB int64
+	// macro persists sampled macrobatch frontiers at this path and reuses
+	// them across epochs instead of resampling.
+	macro string
 
 	// metrics is the NDJSON output path ("" = no metrics file).
 	metrics string
@@ -90,6 +104,10 @@ func main() {
 	flag.StringVar(&cfg.metrics, "metrics", "", "write run metrics as NDJSON to this file (flushed on errors too)")
 	flag.BoolVar(&cfg.trace, "trace", false, "record per-phase spans in the -metrics output")
 	flag.StringVar(&cfg.ckpt, "checkpoint", "", "save the trained model to this file (also on errors)")
+	flag.StringVar(&cfg.pack, "pack", "", "pack the dataset into an on-disk store at this path and exit")
+	flag.StringVar(&cfg.storePath, "store", "", "train out-of-core from this packed store (see -pack)")
+	flag.Int64Var(&cfg.storeBudgetMiB, "store-budget", 256, "out-of-core shard-cache budget in MiB")
+	flag.StringVar(&cfg.macro, "macro", "", "persist macrobatch frontiers here and reuse them across epochs")
 	flag.Parse()
 	cfg.lr = float32(*lr)
 
@@ -107,12 +125,9 @@ func run(cfg runConfig) (err error) {
 	if err != nil {
 		return err
 	}
-	ds, err := dataset.LoadScaled(cfg.dataset, cfg.scale)
-	if err != nil {
-		return err
+	if cfg.pack != "" {
+		return runPack(cfg)
 	}
-	fmt.Fprintf(cfg.out, "dataset %s: %d nodes, %d edges, %d classes, %d train nodes\n",
-		ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), ds.NumClasses, len(ds.TrainIdx))
 
 	// The registry exists for the whole run and is flushed by a deferred
 	// write, so a mid-epoch failure (OOM, injected error) still leaves a
@@ -129,6 +144,34 @@ func run(cfg runConfig) (err error) {
 			}
 		}()
 	}
+
+	var ds *dataset.Dataset
+	if cfg.storePath != "" {
+		st, err := store.Open(cfg.storePath)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		budget := cfg.storeBudgetMiB
+		if mib, err := store.ParseBudgetMiB(os.Getenv("BETTY_STORE_BUDGET_MIB")); err != nil {
+			return err
+		} else if mib > 0 {
+			budget = mib
+		}
+		cache, err := store.NewCache(st, budget*device.MiB, obsReg)
+		if err != nil {
+			return err
+		}
+		if ds, err = st.Dataset(cache); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "store %s: %d feature shards, %.1f MiB on disk, cache budget %d MiB\n",
+			cfg.storePath, st.NumShards(), float64(st.FeatureBytes())/(1<<20), budget)
+	} else if ds, err = dataset.LoadScaled(cfg.dataset, cfg.scale); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "dataset %s: %d nodes, %d edges, %d classes, %d train nodes\n",
+		ds.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), ds.NumClasses, len(ds.TrainIdx))
 
 	opts := core.Options{
 		Hidden:  cfg.hidden,
@@ -181,6 +224,9 @@ func run(cfg runConfig) (err error) {
 	setup.Engine.SetObs(obsReg)
 	if cfg.adaptive {
 		setup.Engine.Tracker = memory.NewErrorTracker()
+	}
+	if cfg.macro != "" {
+		setup.Engine.Frontiers = store.NewMacroCache(cfg.macro, setup.Engine.Sampler.ConfigKey(), obsReg)
 	}
 
 	// Like the metrics flush, the checkpoint is written by a deferred save:
@@ -255,6 +301,33 @@ func run(cfg runConfig) (err error) {
 	if tr := setup.Engine.Tracker; tr != nil && tr.Observations() {
 		fmt.Fprintf(cfg.out, "planner safety margin %.4f (measured-vs-estimated feedback)\n", tr.Margin())
 	}
+	return nil
+}
+
+// runPack converts the flag-selected dataset into the on-disk store format
+// and exits: frontiers of the training loop never see it. The shard height
+// is the packed file's layout, so it rides the BETTY_STORE_SHARD_ROWS env
+// knob rather than a flag — it must match nothing at train time, any
+// reader adapts to the header.
+func runPack(cfg runConfig) error {
+	ds, err := dataset.LoadScaled(cfg.dataset, cfg.scale)
+	if err != nil {
+		return err
+	}
+	rows, err := store.ParseShardRows(os.Getenv("BETTY_STORE_SHARD_ROWS"))
+	if err != nil {
+		return err
+	}
+	if err := store.Pack(cfg.pack, ds, store.PackConfig{ShardRows: rows}); err != nil {
+		return err
+	}
+	st, err := store.Open(cfg.pack)
+	if err != nil {
+		return fmt.Errorf("verifying packed store: %w", err)
+	}
+	defer st.Close()
+	fmt.Fprintf(cfg.out, "packed %s: %d nodes, %d shards of %d rows, %.1f MiB features\n",
+		cfg.pack, st.NumNodes(), st.NumShards(), st.ShardRows(), float64(st.FeatureBytes())/(1<<20))
 	return nil
 }
 

@@ -61,6 +61,24 @@ type Engine struct {
 	// memory.Planner.Peak). Multi-device training installs the split-aware
 	// peak so each micro-batch is budgeted at its per-device share.
 	PlanPeak func(memory.Breakdown) int64
+	// Frontiers, when non-nil, persists sampled macrobatches and reuses
+	// them across epochs (BatchGNN-style): PlanEpoch loads the frontier
+	// for its seed set instead of resampling when one is available. The
+	// sampler's streams depend only on (seed, seeds, layer), so reuse is
+	// bitwise identical to resampling — the macro.reuse / macro.resample
+	// counters record which path each epoch took.
+	Frontiers FrontierCache
+}
+
+// FrontierCache persists sampled full-batch frontiers across epochs (and
+// runs). store.MacroCache is the on-disk implementation.
+type FrontierCache interface {
+	// Load returns the persisted frontier for seeds; ok=false means none
+	// has been saved yet. A frontier persisted under a different sampler
+	// configuration or seed set must be an error, never a silent miss.
+	Load(seeds []int32) (blocks []*graph.Block, ok bool, err error)
+	// Save persists the frontier sampled for seeds.
+	Save(seeds []int32, blocks []*graph.Block) error
 }
 
 // SetObs installs one registry on the engine and every collaborator it
@@ -132,9 +150,9 @@ func (e *Engine) capacity() int64 {
 // PlanEpoch samples the full batch for the given seeds and chooses the
 // micro-batch partition (steps 1-3 of the workflow).
 func (e *Engine) PlanEpoch(seeds []int32) ([]*graph.Block, *memory.Plan, error) {
-	full, err := e.Sampler.Sample(e.Runner.Data.Graph, seeds)
+	full, err := e.sampleOrReuse(seeds)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: sampling: %w", err)
+		return nil, nil, err
 	}
 	margin := e.SafetyMargin
 	if e.Tracker != nil {
@@ -165,6 +183,32 @@ func (e *Engine) PlanEpoch(seeds []int32) ([]*graph.Block, *memory.Plan, error) 
 		return nil, nil, err
 	}
 	return full, plan, nil
+}
+
+// sampleOrReuse produces the epoch's full-batch frontier: from the
+// frontier cache when one is installed and holds this seed set, otherwise
+// by sampling (and persisting the result when a cache is installed).
+func (e *Engine) sampleOrReuse(seeds []int32) ([]*graph.Block, error) {
+	if e.Frontiers != nil {
+		blocks, ok, err := e.Frontiers.Load(seeds)
+		if err != nil {
+			return nil, fmt.Errorf("core: macrobatch load: %w", err)
+		}
+		if ok {
+			return blocks, nil
+		}
+	}
+	full, err := e.Sampler.Sample(e.Runner.Data.Graph, seeds)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling: %w", err)
+	}
+	if e.Frontiers != nil {
+		e.Obs.Add("macro.resample", 1)
+		if err := e.Frontiers.Save(seeds, full); err != nil {
+			return nil, fmt.Errorf("core: macrobatch save: %w", err)
+		}
+	}
+	return full, nil
 }
 
 // TrainEpochMicro runs one epoch of Betty micro-batch training over the

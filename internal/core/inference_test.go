@@ -22,7 +22,10 @@ func TestLayerwiseInferenceMatchesDirectForward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	x := d.GatherFeatures(blocks[0].SrcNID)
+	x, err := d.GatherFeatures(blocks[0].SrcNID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tp := tensor.NewTape()
 	direct := s.Model.Forward(tp, blocks, tensor.Leaf(x))
 
@@ -83,7 +86,10 @@ func TestBatchInferenceMatchesModelForward(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		x := d.GatherFeatures(blocks[0].SrcNID)
+		x, err := d.GatherFeatures(blocks[0].SrcNID)
+		if err != nil {
+			t.Fatal(err)
+		}
 		tp := tensor.NewTape()
 		want := s.Model.Forward(tp, blocks, tensor.Leaf(x))
 		got, err := BatchInference(s.Model, blocks, x)
@@ -112,7 +118,10 @@ func TestBatchInferenceErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	x := d.GatherFeatures(blocks[0].SrcNID)
+	x, err := d.GatherFeatures(blocks[0].SrcNID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := BatchInference(struct{}{}, blocks, x); err == nil {
 		t.Fatal("unsupported model accepted")
 	}

@@ -19,57 +19,74 @@ import (
 	"math"
 
 	"betty/internal/graph"
-	"betty/internal/parallel"
 	"betty/internal/rng"
 	"betty/internal/tensor"
 )
 
 // Dataset is a ready-to-train node classification problem.
 type Dataset struct {
-	Name       string
-	Graph      *graph.Graph
-	Features   *tensor.Tensor // NumNodes x FeatureDim
-	Labels     []int32        // NumNodes, in [0, NumClasses)
+	Name  string
+	Graph *graph.Graph
+	// Features is the dense in-RAM feature matrix (NumNodes x FeatureDim).
+	// It may be nil when Source is set: an out-of-core dataset never
+	// materializes the full matrix.
+	Features *tensor.Tensor
+	// Source, when non-nil, overrides Features as the row provider for
+	// every feature gather. When nil, gathers read the in-RAM matrix.
+	Source     FeatureSource
+	Labels     []int32 // NumNodes, in [0, NumClasses)
 	NumClasses int
 	TrainIdx   []int32
 	ValIdx     []int32
 	TestIdx    []int32
 }
 
+// FeatureSource returns the active row provider: Source when set,
+// otherwise the in-RAM matrix.
+func (d *Dataset) FeatureSource() FeatureSource {
+	if d.Source != nil {
+		return d.Source
+	}
+	return AsSource(d.Features)
+}
+
 // FeatureDim returns the width of the feature matrix.
-func (d *Dataset) FeatureDim() int { return d.Features.Cols() }
+func (d *Dataset) FeatureDim() int { return d.FeatureSource().Dim() }
 
 // GatherFeatures copies the rows for the given global node IDs into a new
 // tensor — the host-side feature fetch for a batch.
-func (d *Dataset) GatherFeatures(nids []int32) *tensor.Tensor {
+func (d *Dataset) GatherFeatures(nids []int32) (*tensor.Tensor, error) {
 	out := tensor.New(len(nids), d.FeatureDim())
-	d.GatherFeaturesInto(out, nids)
-	return out
+	if err := d.GatherFeaturesInto(out, nids); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // GatherFeaturesInto copies the rows for the given global node IDs into
 // out, which must be len(nids) x FeatureDim. The training hot path stages
 // the fetch into a pooled tape tensor so the per-batch feature copy stops
-// allocating; rows are disjoint, so the parallel copy is deterministic.
-func (d *Dataset) GatherFeaturesInto(out *tensor.Tensor, nids []int32) {
-	if out.Rows() != len(nids) || out.Cols() != d.FeatureDim() {
-		panic(fmt.Sprintf("dataset: GatherFeaturesInto %dx%d, want %dx%d",
-			out.Rows(), out.Cols(), len(nids), d.FeatureDim()))
-	}
-	parallel.For(len(nids), 64, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			copy(out.Row(i), d.Features.Row(int(nids[i])))
-		}
-	})
+// allocating. An out-of-core source can fail (I/O error, corrupt shard);
+// the error is propagated, never papered over with zero rows.
+func (d *Dataset) GatherFeaturesInto(out *tensor.Tensor, nids []int32) error {
+	return d.FeatureSource().GatherInto(out, nids)
 }
 
-// HostBytes returns the dataset's host-memory footprint: the full feature
-// matrix, labels, and graph adjacency. Betty's heterogeneous-memory layout
-// keeps all of this in host memory; only per-micro-batch slices ever move
-// to the device, which is why the device budget can be far below the
-// dataset size.
+// GatherFeatureRow copies one node's feature row into dst (len
+// FeatureDim). Serving's per-row feature cache uses it to fill misses
+// without materializing a batch tensor.
+func (d *Dataset) GatherFeatureRow(dst []float32, nid int32) error {
+	return d.FeatureSource().GatherRow(dst, nid)
+}
+
+// HostBytes returns the dataset's host-memory footprint: the resident
+// feature bytes, labels, and graph adjacency. Betty's heterogeneous-memory
+// layout keeps all of this in host memory; only per-micro-batch slices
+// ever move to the device, which is why the device budget can be far below
+// the dataset size. With a disk-backed source the feature term is the
+// shard cache's current residency, not the dataset size.
 func (d *Dataset) HostBytes() int64 {
-	return int64(d.Features.Len())*4 + int64(len(d.Labels))*4 + d.Graph.Bytes()
+	return d.FeatureSource().ResidentBytes() + int64(len(d.Labels))*4 + d.Graph.Bytes()
 }
 
 // GatherLabels copies the labels for the given global node IDs.

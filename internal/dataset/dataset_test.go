@@ -242,9 +242,24 @@ func TestGatherHelpers(t *testing.T) {
 		t.Fatal(err)
 	}
 	nids := []int32{5, 0, 9}
-	f := d.GatherFeatures(nids)
+	f, err := d.GatherFeatures(nids)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f.Rows() != 3 || f.Cols() != d.FeatureDim() {
 		t.Fatal("gathered feature shape wrong")
+	}
+	if _, err := d.GatherFeatures([]int32{int32(d.Features.Rows())}); err == nil {
+		t.Fatal("out-of-range gather accepted")
+	}
+	row := make([]float32, d.FeatureDim())
+	if err := d.GatherFeatureRow(row, 5); err != nil {
+		t.Fatal(err)
+	}
+	for j := range row {
+		if math.Float32bits(row[j]) != math.Float32bits(d.Features.At(5, j)) {
+			t.Fatal("gathered row mismatch")
+		}
 	}
 	for i, nid := range nids {
 		for j := 0; j < f.Cols(); j++ {

@@ -77,6 +77,7 @@ func goldenModule(t *testing.T) (*Module, map[string]*Package) {
 		{"stubs/tensor", "betty/internal/tensor"},
 		{"stubs/parallel", "betty/internal/parallel"},
 		{"stubs/obs", "betty/internal/obs"},
+		{"stubs/store", "betty/internal/store"},
 	} {
 		imp.local[stub.path] = typecheckDir(t, fset, imp, stub.dir, stub.path).Pkg
 	}

@@ -1,0 +1,21 @@
+// Package store is a minimal stand-in for betty/internal/store with just
+// enough API surface (Cache, Pin, Unpin, Shard) for the pooldisc golden
+// tests to type-check the shard pin/unpin pairing rule against.
+package store
+
+type Shard struct {
+	ID   int
+	Data []float32
+}
+
+type Cache struct{ resident map[int]*Shard }
+
+func (c *Cache) Pin(id int) (*Shard, error) {
+	sh, ok := c.resident[id]
+	if !ok {
+		sh = &Shard{ID: id}
+	}
+	return sh, nil
+}
+
+func (c *Cache) Unpin(sh *Shard) { _ = sh }

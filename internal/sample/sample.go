@@ -54,6 +54,21 @@ func NewWithReplacement(fanouts []int, seed uint64) *Sampler {
 // NumLayers returns the number of block layers the sampler produces.
 func (s *Sampler) NumLayers() int { return len(s.fanouts) }
 
+// ConfigKey hashes the sampler's full configuration (fanouts, replacement
+// mode, seed). Two samplers with equal keys draw identical neighborhoods
+// for identical seed sets, which is what lets a persisted macrobatch
+// (store.MacroCache) verify it was sampled under this configuration.
+func (s *Sampler) ConfigKey() uint64 {
+	h := mix64(s.seed ^ 0xa0761d6478bd642f)
+	for _, f := range s.fanouts {
+		h = mix64(h ^ uint64(uint32(int32(f))))
+	}
+	if s.replace {
+		h = mix64(h ^ 0xe7037ed1a0b428db)
+	}
+	return h
+}
+
 // Fanouts returns a copy of the configured fanouts, input-first.
 func (s *Sampler) Fanouts() []int { return append([]int(nil), s.fanouts...) }
 

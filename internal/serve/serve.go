@@ -79,6 +79,8 @@ type Server struct {
 	obs     *obs.Registry
 	cache   *featureCache
 	quant   *quantStore
+	// rowBuf stages one feature row on cache misses (worker-only).
+	rowBuf []float32
 
 	queue chan *request
 
@@ -125,6 +127,7 @@ func New(ds *dataset.Dataset, model any, cfg Config) (*Server, error) {
 		obs:     cfg.Obs,
 		cache:   newFeatureCache(cfg.CacheNodes, cfg.Quant),
 		quant:   qs,
+		rowBuf:  make([]float32, ds.FeatureDim()),
 		queue:   make(chan *request, cfg.QueueDepth),
 	}
 	s.sampler.Obs = cfg.Obs
@@ -387,7 +390,10 @@ func (s *Server) scoreUnion(union []int32) ([][]float32, error) {
 
 	scores := make([][]float32, len(union))
 	for gi, micro := range plan.Micro {
-		feats := s.gather(micro[0].SrcNID)
+		feats, err := s.gather(micro[0].SrcNID)
+		if err != nil {
+			return nil, err
+		}
 		fsp := s.obs.StartSpan(obs.PhaseForward).
 			SetInt("outputs", int64(len(plan.Groups[gi]))).
 			SetInt("inputs", int64(micro[0].NumSrc))
@@ -409,10 +415,12 @@ func (s *Server) scoreUnion(union []int32) ([][]float32, error) {
 
 // gather stages the input features for the given node IDs through the LRU
 // cache (when enabled). Under QuantOff rows are exact copies of the host
-// feature matrix; under a quantized mode every staged row — hit or miss —
-// is the codec round-trip of the host row, so in all modes cache state
-// never changes the staged bytes.
-func (s *Server) gather(nids []int32) *tensor.Tensor {
+// rows; under a quantized mode every staged row — hit or miss — is the
+// codec round-trip of the host row, so in all modes cache state never
+// changes the staged bytes. Rows come through the dataset's FeatureSource,
+// so a disk-backed deployment serves from its shard cache instead of a
+// resident matrix; a shard that cannot be loaded fails the batch loudly.
+func (s *Server) gather(nids []int32) (*tensor.Tensor, error) {
 	if s.cache == nil && s.cfg.Quant == tensor.QuantOff {
 		return s.ds.GatherFeatures(nids)
 	}
@@ -424,9 +432,13 @@ func (s *Server) gather(nids []int32) *tensor.Tensor {
 			hits++
 			continue
 		}
-		// Miss: encode first, stage the decoded encoding — identical bytes
-		// to a later hit on the same row.
-		row := encodeRow(s.cfg.Quant, s.ds.Features.Row(int(nid)))
+		// Miss: fetch through the source, encode, stage the decoded
+		// encoding — identical bytes to a later hit on the same row.
+		// encodeRow copies, so the single staging buffer is safe to reuse.
+		if err := s.ds.GatherFeatureRow(s.rowBuf, nid); err != nil {
+			return nil, fmt.Errorf("serve: feature row %d: %w", nid, err)
+		}
+		row := encodeRow(s.cfg.Quant, s.rowBuf)
 		row.decodeInto(out.Row(i))
 		s.cache.put(nid, row)
 		misses++
@@ -435,7 +447,7 @@ func (s *Server) gather(nids []int32) *tensor.Tensor {
 	s.obs.Add("serve.cache_misses", misses)
 	s.obs.Set("serve.cache_nodes", int64(s.cache.len()))
 	s.obs.Set("serve.cache_bytes", s.cache.residentBytes())
-	return out
+	return out, nil
 }
 
 // writeBatchLog emits one hand-assembled NDJSON line describing the batch

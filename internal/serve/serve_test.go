@@ -271,6 +271,16 @@ func TestRequestValidation(t *testing.T) {
 	}
 }
 
+// panicSource is a dataset.FeatureSource whose gathers panic, to exercise
+// the worker's panic isolation below.
+type panicSource struct{ dim, rows int }
+
+func (p panicSource) Rows() int                                { return p.rows }
+func (p panicSource) Dim() int                                 { return p.dim }
+func (p panicSource) GatherInto(*tensor.Tensor, []int32) error { panic("sabotaged feature gather") }
+func (p panicSource) GatherRow([]float32, int32) error         { panic("sabotaged feature gather") }
+func (p panicSource) ResidentBytes() int64                     { return 0 }
+
 // A panic while executing one batch must fail that batch's requests and
 // leave the worker serving the next.
 func TestPanicIsolation(t *testing.T) {
@@ -281,11 +291,13 @@ func TestPanicIsolation(t *testing.T) {
 	cfg.CacheNodes = 0 // gather straight from the (sabotaged) feature matrix
 	s := newTestServer(t, d, model, cfg)
 
-	// Sabotage: swap in a truncated feature matrix (same graph) so the
-	// batch's feature gather indexes out of range and panics mid-pipeline.
+	// Sabotage: swap in a feature source that panics (a truncated matrix
+	// no longer works — out-of-range gathers are descriptive errors now)
+	// so the batch's feature gather panics mid-pipeline.
 	good := s.ds
 	bad := *d
-	bad.Features = tensor.New(1, d.FeatureDim())
+	bad.Features = nil
+	bad.Source = panicSource{dim: d.FeatureDim(), rows: int(d.Graph.NumNodes())}
 	s.ds = &bad
 	doomed, err := s.enqueue([]int32{5, 9}, 0)
 	if err != nil {

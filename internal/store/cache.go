@@ -1,0 +1,216 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"betty/internal/device"
+	"betty/internal/obs"
+)
+
+// Cache is the budget-pinned shard cache: it loads feature shards on
+// demand, keeps them resident up to a byte budget, and evicts under an
+// LRU-with-pin discipline — a pinned shard (one a gather is actively
+// copying from) is never evicted; when every resident shard is pinned and
+// the budget is exhausted, Pin blocks until another gather unpins.
+//
+// Accounting runs through a device.Device byte ledger (the same ledger
+// type the memory.Planner budgets against) whose capacity is the budget:
+// every resident shard byte is Alloc'd, every eviction Frees, so the
+// ledger's Used can never exceed the budget by construction and its Peak
+// is the high-water proof the out-of-core tests assert. The ledger rounds
+// to device.AllocGranularity, which only makes the bound stricter.
+//
+// Deadlock-freedom: each gather worker pins at most one shard at a time
+// (see Features.GatherInto), so some worker can always finish its copy and
+// unpin — a waiting Pin is woken by the next Unpin. A single shard larger
+// than the whole budget can never fit and fails fast instead of blocking.
+type Cache struct {
+	store  *Store
+	ledger *device.Device
+	reg    *obs.Registry
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// lru is the eviction order over resident, unpinned shards: front is
+	// most recently unpinned. Pinned shards are not in the list.
+	lru *list.List
+	// resident maps shard ID to its cache entry.
+	resident map[int]*cacheEntry
+}
+
+type cacheEntry struct {
+	shard *Shard
+	buf   *device.Buffer
+	pins  int
+	// elem is the shard's LRU position while unpinned, nil while pinned.
+	elem *list.Element
+}
+
+// NewCache builds a cache over st with the given byte budget. The registry
+// may be nil; when set it receives the hit/miss/eviction counters and the
+// resident/pinned gauges the CI ledger artifact exports.
+func NewCache(st *Store, budget int64, reg *obs.Registry) (*Cache, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("store: cache budget %d must be positive", budget)
+	}
+	if min := st.MaxShardBytes(); budget < min {
+		return nil, fmt.Errorf("store: cache budget %d cannot hold one %d-byte shard — "+
+			"raise the budget or repack with smaller BETTY_STORE_SHARD_ROWS", budget, min)
+	}
+	c := &Cache{
+		store:    st,
+		ledger:   device.New(budget, device.CostModel{}),
+		reg:      reg,
+		lru:      list.New(),
+		resident: make(map[int]*cacheEntry),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	reg.Set("store.budget_bytes", budget)
+	return c, nil
+}
+
+// Budget returns the configured byte budget.
+func (c *Cache) Budget() int64 { return c.ledger.Capacity() }
+
+// ResidentBytes returns the ledger's current residency.
+func (c *Cache) ResidentBytes() int64 { return c.ledger.Used() }
+
+// PeakBytes returns the ledger's high-water mark — the number the
+// out-of-core tests compare against Budget.
+func (c *Cache) PeakBytes() int64 { return c.ledger.Peak() }
+
+// Pin returns shard id resident and pinned: the shard cannot be evicted
+// until the matching Unpin. Pin blocks while the budget is exhausted by
+// other pinned shards; it fails on I/O errors, corruption, or an id out of
+// range. Every Pin must be paired with an Unpin (bettyvet's pooldisc
+// enforces the pairing outside this package).
+func (c *Cache) Pin(id int) (*Shard, error) {
+	c.mu.Lock()
+	for {
+		if e, ok := c.resident[id]; ok {
+			if e.elem != nil {
+				c.lru.Remove(e.elem)
+				e.elem = nil
+			}
+			e.pins++
+			c.publishLocked()
+			c.reg.Add("store.shard_hits", 1)
+			c.mu.Unlock()
+			return e.shard, nil
+		}
+		need := c.shardBytes(id)
+		if c.evictUntilLocked(need) {
+			break
+		}
+		// Everything resident is pinned and the budget cannot take this
+		// shard: wait for an Unpin to free eviction candidates.
+		c.reg.Add("store.pin_waits", 1)
+		c.cond.Wait()
+	}
+	// Reserve the budget before the disk read, release the lock during it:
+	// the reservation keeps concurrent Pins from overcommitting while the
+	// I/O runs unlocked.
+	buf, err := c.ledger.Alloc(c.shardBytes(id), fmt.Sprintf("shard-%d", id))
+	if err != nil {
+		// evictUntilLocked made room under the lock, so the ledger cannot
+		// refuse; a failure here is a genuine bookkeeping bug.
+		c.mu.Unlock()
+		return nil, fmt.Errorf("store: cache ledger refused a reservation it had room for: %w", err)
+	}
+	c.mu.Unlock()
+
+	sh, err := c.store.LoadShard(id)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.ledger.Free(buf)
+		c.cond.Broadcast()
+		c.reg.Add("store.load_errors", 1)
+		return nil, err
+	}
+	if e, ok := c.resident[id]; ok {
+		// A concurrent Pin loaded the same shard while we read: keep the
+		// established entry, drop our duplicate load.
+		c.ledger.Free(buf)
+		c.cond.Broadcast()
+		if e.elem != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
+		e.pins++
+		c.publishLocked()
+		return e.shard, nil
+	}
+	c.resident[id] = &cacheEntry{shard: sh, buf: buf, pins: 1}
+	c.reg.Add("store.shard_misses", 1)
+	c.reg.Add("store.loaded_bytes", sh.Bytes())
+	c.publishLocked()
+	// A waiter wanting this same shard can now share the pin.
+	c.cond.Broadcast()
+	return sh, nil
+}
+
+// Unpin releases one pin on sh. When the last pin drops, the shard stays
+// resident and becomes evictable at the front of the LRU order.
+func (c *Cache) Unpin(sh *Shard) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.resident[sh.ID]
+	if !ok || e.pins <= 0 {
+		panic(fmt.Sprintf("store: Unpin of shard %d which is not pinned", sh.ID))
+	}
+	e.pins--
+	if e.pins == 0 {
+		e.elem = c.lru.PushFront(e.shard.ID)
+		// Budget may now be reclaimable: wake waiting Pins.
+		c.cond.Broadcast()
+	}
+	c.publishLocked()
+}
+
+// shardBytes returns the ledger charge for shard id without loading it.
+func (c *Cache) shardBytes(id int) int64 {
+	start, end := c.store.hdr.shardRowRange(id)
+	return int64(end-start) * int64(c.store.hdr.Dim) * 4
+}
+
+// evictUntilLocked evicts LRU shards until need more bytes fit under the
+// budget (ledger-rounded). It reports false when the remaining resident
+// set is entirely pinned and still too large — the caller must wait.
+func (c *Cache) evictUntilLocked(need int64) bool {
+	rounded := (need + device.AllocGranularity - 1) / device.AllocGranularity * device.AllocGranularity
+	for c.ledger.Used()+rounded > c.ledger.Capacity() {
+		back := c.lru.Back()
+		if back == nil {
+			return false
+		}
+		id := back.Value.(int)
+		e := c.resident[id]
+		c.lru.Remove(back)
+		delete(c.resident, id)
+		c.ledger.Free(e.buf)
+		c.reg.Add("store.evictions", 1)
+	}
+	return true
+}
+
+// publishLocked exports the residency gauges. Called with the mutex held,
+// so the gauge sequence is consistent with the ledger.
+func (c *Cache) publishLocked() {
+	if c.reg == nil {
+		return
+	}
+	c.reg.Set("store.resident_bytes", c.ledger.Used())
+	c.reg.Set("store.resident_peak_bytes", c.ledger.Peak())
+	pinned := 0
+	for _, e := range c.resident {
+		if e.pins > 0 {
+			pinned++
+		}
+	}
+	c.reg.Set("store.pinned_shards", int64(pinned))
+	c.reg.Set("store.resident_shards", int64(len(c.resident)))
+}

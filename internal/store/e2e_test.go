@@ -1,0 +1,128 @@
+package store
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"betty/internal/dataset"
+	"betty/internal/obs"
+	"betty/internal/serve"
+)
+
+// TestOutOfCoreEndToEnd is the headline proof of this subsystem: a graph
+// whose feature matrix is 10× the cache budget trains and serves
+// bitwise-identically to the in-RAM path, while the byte ledger proves
+// residency never exceeded the budget. When STORE_E2E_LEDGER names a
+// path, the run's full metric registry is written there as NDJSON (CI
+// uploads it as an artifact).
+func TestOutOfCoreEndToEnd(t *testing.T) {
+	ds := genDataset(t, 4096, 48, 41) // 4096×48×4B = 768 KiB of features
+	st := openTemp(t, packTemp(t, ds, 128))
+
+	budget := st.FeatureBytes() / 10
+	if st.FeatureBytes() < 10*budget {
+		t.Fatalf("feature matrix %d not ≥ 10× budget %d", st.FeatureBytes(), budget)
+	}
+	reg := obs.New(obs.NewFakeClock(0, 1))
+	cache, err := NewCache(st, budget, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskDS, err := st.Dataset(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Train both paths with the same seed.
+	const epochs = 3
+	ram := buildSAGE(t, ds, 9)
+	disk := buildSAGE(t, diskDS, 9)
+	disk.Engine.SetObs(reg)
+	ramLosses := trainLosses(t, ram, epochs)
+	diskLosses := trainLosses(t, disk, epochs)
+	for e := range ramLosses {
+		if ramLosses[e] != diskLosses[e] {
+			t.Fatalf("epoch %d: out-of-core loss %x != in-RAM loss %x", e+1, diskLosses[e], ramLosses[e])
+		}
+	}
+	ra, da := paramBits(ram), paramBits(disk)
+	for i := range ra {
+		if ra[i] != da[i] {
+			t.Fatalf("trained parameter %d differs between in-RAM and out-of-core", i)
+		}
+	}
+	va, err := ram.Engine.ValAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := disk.Engine.ValAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(va) != math.Float64bits(vb) {
+		t.Fatalf("validation accuracy differs: %v vs %v", va, vb)
+	}
+
+	// Serve both trained models and compare predictions bitwise. The
+	// disk-backed server's feature cache misses route through the shard
+	// cache row by row.
+	nodes := make([]int32, 64)
+	for i := range nodes {
+		nodes[i] = int32((i * 61) % 4096)
+	}
+	predict := func(t *testing.T, srvDS *serveDataset) [][]float32 {
+		cfg := serve.Defaults()
+		cfg.Fanouts = []int{3, 3}
+		cfg.Seed = 9
+		cfg.MaxWait = 0
+		srv, err := serve.New(srvDS.ds, srvDS.model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		defer srv.Close()
+		out, err := srv.Predict(nodes, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ramPred := predict(t, &serveDataset{ds: ds, model: ram.Model})
+	diskPred := predict(t, &serveDataset{ds: diskDS, model: disk.Model})
+	if len(ramPred) != len(diskPred) {
+		t.Fatal("prediction count mismatch")
+	}
+	for i := range ramPred {
+		for j := range ramPred[i] {
+			if math.Float32bits(ramPred[i][j]) != math.Float32bits(diskPred[i][j]) {
+				t.Fatalf("prediction %d[%d] differs between in-RAM and out-of-core serving", i, j)
+			}
+		}
+	}
+
+	// The ledger proves budget safety: the cache's high-water mark and the
+	// published gauge both stayed at or under budget for the entire run.
+	if cache.PeakBytes() > cache.Budget() {
+		t.Fatalf("ledger peak %d exceeded budget %d", cache.PeakBytes(), cache.Budget())
+	}
+	if peak, ok := reg.GaugeValue("store.resident_peak_bytes"); !ok || peak > budget {
+		t.Fatalf("published peak %d (ok=%v) exceeded budget %d", peak, ok, budget)
+	}
+	if reg.CounterValue("store.evictions") == 0 {
+		t.Fatal("a 10×-over-budget run must evict")
+	}
+
+	if path := os.Getenv("STORE_E2E_LEDGER"); path != "" {
+		if err := reg.WriteFile(path); err != nil {
+			t.Fatalf("writing ledger artifact: %v", err)
+		}
+	}
+}
+
+// serveDataset pairs a dataset with the model trained on it.
+type serveDataset struct {
+	ds    *dataset.Dataset
+	model any
+}

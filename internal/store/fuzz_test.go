@@ -1,0 +1,101 @@
+package store
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzShardRoundTrip drives the shard codec from both ends. A shape plus
+// raw float bits must encode and decode back bitwise-identically (NaN
+// payloads included), and an arbitrary blob handed to DecodeShard must
+// either fail loudly or decode to something that re-encodes to the exact
+// same bytes — never panic, never silently fabricate rows.
+func FuzzShardRoundTrip(f *testing.F) {
+	f.Add(uint16(4), uint16(3), []byte{1, 2, 3, 4, 0xff, 0xff, 0xc0, 0x7f})
+	f.Add(uint16(0), uint16(0), []byte{})
+	f.Add(uint16(1), uint16(1), []byte{0, 0, 0x80, 0x7f})
+	// A well-formed encoded blob, to seed the decode-first direction.
+	good, err := EncodeShard(2, 2, []float32{1, 2, 3, 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint16(2), uint16(2), good)
+
+	f.Fuzz(func(t *testing.T, rowsRaw, dimRaw uint16, raw []byte) {
+		rows := int(rowsRaw % 128)
+		dim := int(dimRaw % 64)
+
+		// Direction 1: encode a shaped matrix built from the raw bytes,
+		// decode it, and demand bitwise identity.
+		data := make([]float32, rows*dim)
+		for i := range data {
+			var word uint32
+			if (i+1)*4 <= len(raw) {
+				word = binary.LittleEndian.Uint32(raw[i*4:])
+			} else {
+				word = uint32(i) * 0x9e3779b9
+			}
+			data[i] = math.Float32frombits(word)
+		}
+		blob, err := EncodeShard(rows, dim, data)
+		if err != nil {
+			t.Fatalf("encode of valid shape %dx%d failed: %v", rows, dim, err)
+		}
+		gr, gd, got, err := DecodeShard(blob)
+		if err != nil {
+			t.Fatalf("decode of fresh encode failed: %v", err)
+		}
+		if gr != rows || gd != dim || len(got) != len(data) {
+			t.Fatalf("shape %dx%d round-tripped to %dx%d", rows, dim, gr, gd)
+		}
+		for i := range data {
+			if math.Float32bits(got[i]) != math.Float32bits(data[i]) {
+				t.Fatalf("element %d: %x != %x", i, math.Float32bits(got[i]), math.Float32bits(data[i]))
+			}
+		}
+
+		// Direction 2: the raw bytes as a blob. Must not panic; on success
+		// the decode must re-encode to the identical blob (no silent
+		// truncation or zero-fill).
+		r2, d2, v2, err := DecodeShard(raw)
+		if err == nil {
+			re, err := EncodeShard(r2, d2, v2)
+			if err != nil {
+				t.Fatalf("re-encode of decoded blob failed: %v", err)
+			}
+			if string(re) != string(raw) {
+				t.Fatalf("decode accepted a blob that does not re-encode identically (%d vs %d bytes)", len(re), len(raw))
+			}
+		}
+	})
+}
+
+// FuzzInt32RoundTrip covers the label/split codec the same way.
+func FuzzInt32RoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 7, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vs, err := decodeInt32s(raw)
+		if err == nil {
+			re := encodeInt32s(vs)
+			if string(re) != string(raw) {
+				t.Fatalf("decode accepted a blob that does not re-encode identically")
+			}
+		}
+		n := len(raw) / 4
+		vals := make([]int32, n)
+		for i := range vals {
+			vals[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+		back, err := decodeInt32s(encodeInt32s(vals))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		for i := range vals {
+			if back[i] != vals[i] {
+				t.Fatalf("element %d mismatch", i)
+			}
+		}
+	})
+}

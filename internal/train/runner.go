@@ -153,9 +153,13 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 	tp := r.tape
 	defer tp.Release()
 	// Stage the feature fetch in the tape's pooled arena: the big per-batch
-	// input copy recycles the same buffer across micro-batches.
+	// input copy recycles the same buffer across micro-batches. An
+	// out-of-core source pulls the frontier's shards through its cache
+	// here; a load failure aborts the batch before any compute.
 	x := tp.Alloc(len(input.SrcNID), r.Data.FeatureDim())
-	r.Data.GatherFeaturesInto(x, input.SrcNID)
+	if err := r.Data.GatherFeaturesInto(x, input.SrcNID); err != nil {
+		return res, fmt.Errorf("train: feature gather: %w", err)
+	}
 	labels := r.Data.GatherLabels(last.DstNID)
 
 	// Device phase 1: transfer inputs and charge their memory.
@@ -285,7 +289,9 @@ func (r *Runner) MeasureForward(blocks []*graph.Block) (ForwardCost, error) {
 	tp := tensor.NewTape()
 	defer tp.Release()
 	x := tp.Alloc(len(input.SrcNID), r.Data.FeatureDim())
-	r.Data.GatherFeaturesInto(x, input.SrcNID)
+	if err := r.Data.GatherFeaturesInto(x, input.SrcNID); err != nil {
+		return fc, fmt.Errorf("train: feature gather: %w", err)
+	}
 	labels := r.Data.GatherLabels(last.DstNID)
 	logits := r.Model.Forward(tp, blocks, tensor.Leaf(x))
 	tp.SoftmaxCrossEntropy(logits, labels)
@@ -349,7 +355,11 @@ func (r *Runner) Evaluate(s sampler, seeds []int32, chunkSize int) (float64, err
 				results[c].err = err
 				continue
 			}
-			x := r.Data.GatherFeatures(blocks[0].SrcNID)
+			x, err := r.Data.GatherFeatures(blocks[0].SrcNID)
+			if err != nil {
+				results[c].err = err
+				continue
+			}
 			labels := r.Data.GatherLabels(blocks[len(blocks)-1].DstNID)
 			tp := tensor.NewTape()
 			logits := r.Model.Forward(tp, blocks, tensor.Leaf(x))
