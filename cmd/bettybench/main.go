@@ -34,8 +34,36 @@ func main() {
 		gate    = flag.String("gate", "", "re-run the step sweep and fail if any cell regressed >threshold vs this committed BENCH_step.json")
 		gateOut = flag.String("gate-out", "BENCH_gate.json", "write the gate comparison artifact to this file")
 		gateTol = flag.Float64("gate-threshold", bench.DefaultGateThreshold, "tolerated relative ns/step slowdown")
+		sgate   = flag.String("serve-gate", "", "re-run the serve sweep and fail if reuse-mode p50/p99 regressed >threshold vs this committed BENCH_serve.json")
+		sgateO  = flag.String("serve-gate-out", "BENCH_serve_gate.json", "write the serve gate comparison artifact to this file")
 	)
 	flag.Parse()
+
+	if *sgate != "" {
+		rep, err := bench.WriteServeGate(*sgate, *sgateO, *scale, *gateTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bettybench: serve gate: %v\n", err)
+			os.Exit(1)
+		}
+		for _, c := range rep.Cells {
+			mark := " "
+			if c.Regressed {
+				mark = "!"
+			}
+			fmt.Printf("%s %-30s baseline %12d ns  current %12d ns  ratio %.3f\n",
+				mark, c.Name, c.BaselineNs, c.CurrentNs, c.Ratio)
+		}
+		if rep.Advisory {
+			fmt.Printf("advisory only: host_cpus %d != baseline host_cpus %d — ratios not binding\n",
+				rep.HostCPUs, rep.BaselineHostCPUs)
+		}
+		if rep.Failed {
+			fmt.Fprintf(os.Stderr, "bettybench: serve gate: reuse-mode latency regression beyond %.0f%% — see %s (override: apply the perf-regression-ok label)\n",
+				rep.Threshold*100, *sgateO)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *gate != "" {
 		rep, err := bench.WriteGate(*gate, *gateOut, *scale, *gateTol)
@@ -96,6 +124,11 @@ func main() {
 		for _, q := range rep.Quant {
 			fmt.Printf("quant=%-5s %.0f req/s  p99 %.2fms  weight bytes %d  max |Δscore| %.3g\n",
 				q.Mode, q.Load.ThroughputRPS, float64(q.Load.P99NS)/1e6, q.WeightBytes, q.MaxAbsDiff)
+		}
+		for _, e := range rep.Emb {
+			fmt.Printf("embcache=%-5s %.0f req/s  p50 %.2fms  p99 %.2fms  hit rate %.2f  layer-1 rows/req %.1f  max |Δscore| %.3g\n",
+				e.Mode, e.Load.ThroughputRPS, float64(e.Load.P50NS)/1e6, float64(e.Load.P99NS)/1e6,
+				e.HitRate, e.ComputedRowsPerRequest, e.MaxAbsDiff)
 		}
 		return
 	}

@@ -179,8 +179,8 @@ func run(cfg serveConfig) error {
 		srv.Close()
 		return err
 	}
-	fmt.Fprintf(cfg.out, "serving %s/%s on http://%s (budget %d MiB, max batch %d, quant %v)\n",
-		ds.Name, cfg.model, ln.Addr(), scfg.CapacityBytes>>20, scfg.MaxBatch, scfg.Quant)
+	fmt.Fprintf(cfg.out, "serving %s/%s on http://%s (budget %d MiB, max batch %d, quant %v, embcache %v)\n",
+		ds.Name, cfg.model, ln.Addr(), scfg.CapacityBytes>>20, scfg.MaxBatch, scfg.Quant, scfg.EmbMode)
 	if cfg.ready != nil {
 		cfg.ready <- ln.Addr().String()
 	}

@@ -30,6 +30,7 @@ import (
 	"betty/internal/core"
 	"betty/internal/dataset"
 	"betty/internal/device"
+	"betty/internal/embcache"
 	"betty/internal/memory"
 	"betty/internal/nn"
 	"betty/internal/obs"
@@ -222,6 +223,11 @@ func run(cfg runConfig) (err error) {
 		return fmt.Errorf("unknown model %q (sage, gat, or gcn)", cfg.model)
 	}
 	setup.Engine.SetObs(obsReg)
+	if emb, err := buildEmbCache(obsReg, cfg.out); err != nil {
+		return err
+	} else if emb != nil {
+		setup.Runner.Emb = emb
+	}
 	if cfg.adaptive {
 		setup.Engine.Tracker = memory.NewErrorTracker()
 	}
@@ -302,6 +308,44 @@ func run(cfg runConfig) (err error) {
 		fmt.Fprintf(cfg.out, "planner safety margin %.4f (measured-vs-estimated feedback)\n", tr.Margin())
 	}
 	return nil
+}
+
+// buildEmbCache assembles the historical-embedding cache from the
+// BETTY_EMBCACHE* environment knobs (DESIGN.md §16). Unset means exact —
+// the bitwise self-checking default — so a plain run continuously audits
+// the cache path without ever changing a training float.
+func buildEmbCache(obsReg *obs.Registry, out io.Writer) (*embcache.Cache, error) {
+	mode, err := embcache.ParseMode(os.Getenv("BETTY_EMBCACHE"))
+	if err != nil {
+		return nil, err
+	}
+	if mode == embcache.ModeOff {
+		return nil, nil
+	}
+	budgetMiB := int64(64)
+	if mib, err := embcache.ParseBudgetMiB(os.Getenv("BETTY_EMBCACHE_BUDGET_MIB")); err != nil {
+		return nil, err
+	} else if mib > 0 {
+		budgetMiB = mib
+	}
+	maxLag := 1
+	if lag, err := embcache.ParseMaxLag(os.Getenv("BETTY_EMBCACHE_MAX_LAG")); err != nil {
+		return nil, err
+	} else if lag >= 0 {
+		maxLag = lag
+	}
+	emb, err := embcache.New(embcache.Config{
+		Mode:        mode,
+		BudgetBytes: budgetMiB * device.MiB,
+		MaxLag:      maxLag,
+		Obs:         obsReg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "embedding cache: mode %v, budget %d MiB, max version lag %d\n",
+		mode, budgetMiB, maxLag)
+	return emb, nil
 }
 
 // runPack converts the flag-selected dataset into the on-disk store format

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"betty/internal/core"
 	"betty/internal/dataset"
+	"betty/internal/embcache"
 	"betty/internal/obs"
 	"betty/internal/serve"
 	"betty/internal/tensor"
@@ -40,10 +42,37 @@ type ServeBenchReport struct {
 	// CapacityBytes is the budget it stayed under.
 	MaxEstPeakBytes int64 `json:"max_est_peak_bytes"`
 	CapacityBytes   int64 `json:"capacity_bytes"`
+	// HostCPUs records the measuring host so the serve gate can demote
+	// cross-host comparisons to advisory, like the step gate does.
+	HostCPUs int `json:"host_cpus"`
 	// Quant holds the exact/f16/int8 serving modes side by side
 	// (DESIGN.md §13): per-mode load reports, resident weight bytes, and
 	// the worst score deviation from the exact path on a fixed probe set.
 	Quant []ServeQuantResult `json:"quant"`
+	// Emb holds the historical-embedding cache modes (off/exact/reuse,
+	// DESIGN.md §16) side by side over a skewed hot-node trace: per-mode
+	// latency, cache hit rate, layer-1 compute per request, and the worst
+	// score deviation from the off path on the probe set.
+	Emb []ServeEmbResult `json:"emb"`
+}
+
+// ServeEmbResult is one BETTY_EMBCACHE mode's measured serving cell.
+type ServeEmbResult struct {
+	// Mode is off, exact, or reuse.
+	Mode string `json:"mode"`
+	// Load is the mode's throughput/latency report over the same skewed
+	// trace.
+	Load *serve.LoadReport `json:"load"`
+	// HitRate is embedding-cache hits / (hits + misses); 0 for off and
+	// exact (exact never skips compute).
+	HitRate float64 `json:"hit_rate"`
+	// ComputedRowsPerRequest is the layer-1 destination rows actually
+	// computed per request — the compute the reuse mode saves.
+	ComputedRowsPerRequest float64 `json:"computed_rows_per_request"`
+	// MaxAbsDiff is the largest |score - off-mode score| over the probe
+	// requests. Exact is 0 by construction; reuse is 0 while the weight
+	// version is static (serving never steps the optimizer).
+	MaxAbsDiff float64 `json:"max_abs_diff"`
 }
 
 // ServeQuantResult is one BETTY_QUANT mode's measured serving cell.
@@ -153,7 +182,88 @@ func RunServeBench(scale float64) (*ServeBenchReport, error) {
 		}
 		rep.Quant = append(rep.Quant, qr)
 	}
+	rep.HostCPUs = runtime.NumCPU()
+
+	// The embedding-cache sweep runs the off/exact/reuse modes over a
+	// skewed trace (a small hot set dominates, the shape real serving
+	// traffic has): quant stays off so any score difference is the
+	// cache's alone.
+	elc := lc
+	elc.Skew = 3
+	var offProbe [][]float32
+	for _, mode := range []embcache.Mode{embcache.ModeOff, embcache.ModeExact, embcache.ModeReuse} {
+		setup, err := core.BuildSAGE(ds, core.Options{Seed: 1, Hidden: 64, Fanouts: []int{5, 10}})
+		if err != nil {
+			return nil, err
+		}
+		reg := obs.New(nil)
+		cfg := serve.Defaults()
+		cfg.Fanouts = []int{5, 10}
+		cfg.Seed = 1
+		cfg.MaxWait = time.Millisecond
+		cfg.Obs = reg
+		cfg.EmbMode = mode
+		s, err := serve.New(ds, setup.Model, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Start()
+		load, err := serve.RunLoad(s, elc)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if load.Errors > 0 {
+			s.Close()
+			return nil, fmt.Errorf("bench: embcache %v: %d of %d serve requests failed", mode, load.Errors, load.Requests)
+		}
+		scores, err := s.Predict(probe, 0)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		st := s.StatsSnapshot()
+		// Layer-1 compute: what a cache-less forward performs versus what
+		// the cached forward actually computed.
+		computed := reg.CounterValue("serve.layer1_dst_rows")
+		if mode != embcache.ModeOff {
+			computed = reg.CounterValue("embcache.computed_rows")
+		}
+		s.Close()
+
+		er := ServeEmbResult{Mode: mode.String(), Load: load}
+		if lookups := st.EmbHits + st.EmbMisses; lookups > 0 {
+			er.HitRate = float64(st.EmbHits) / float64(lookups)
+		}
+		er.ComputedRowsPerRequest = float64(computed) / float64(st.Requests)
+		if mode == embcache.ModeOff {
+			offProbe = scores
+		} else {
+			for i := range scores {
+				for j := range scores[i] {
+					d := math.Abs(float64(scores[i][j]) - float64(offProbe[i][j]))
+					if d > er.MaxAbsDiff {
+						er.MaxAbsDiff = d
+					}
+				}
+			}
+		}
+		rep.Emb = append(rep.Emb, er)
+	}
 	return rep, nil
+}
+
+// ReadServeBench loads a previously written BENCH_serve.json.
+func ReadServeBench(path string) (*ServeBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var rep ServeBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 // weightMatrixBytes sums the f32 footprint of the model's weight matrices

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The serve-regression gate: CI re-runs the serve sweep and compares the
+// reuse-mode embedding-cache cell's latency percentiles against the
+// committed BENCH_serve.json baseline. Reuse is the mode whose entire
+// point is latency — a p50/p99 regression beyond the threshold means the
+// cache stopped paying for itself, so it fails the smoke (exit 1 in
+// bettybench -serve-gate) the same way a step-sweep regression does.
+// Host-CPU mismatches demote the comparison to advisory, matching the
+// step gate.
+
+// TailGateFactor widens the gate threshold for tail percentiles: the
+// smoke-scale p99 is estimated from very few samples, so it is held to
+// threshold*TailGateFactor while the median is held to threshold itself.
+const TailGateFactor = 5
+
+// RunServeGate re-runs the serve sweep at scale and compares the reuse
+// cell against the committed baseline at baselinePath. threshold <= 0
+// uses DefaultGateThreshold.
+func RunServeGate(baselinePath string, scale, threshold float64) (*GateReport, error) {
+	if threshold <= 0 {
+		threshold = DefaultGateThreshold
+	}
+	base, err := ReadServeBench(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve gate baseline: %w", err)
+	}
+	cur, err := RunServeBench(scale)
+	if err != nil {
+		return nil, err
+	}
+	return CompareServeBench(base, cur, baselinePath, threshold)
+}
+
+// CompareServeBench compares a fresh serve sweep against a committed
+// baseline, gating on the reuse-mode latency percentiles.
+func CompareServeBench(base, cur *ServeBenchReport, baselinePath string, threshold float64) (*GateReport, error) {
+	if threshold <= 0 {
+		threshold = DefaultGateThreshold
+	}
+	rep := &GateReport{
+		BaselinePath:     baselinePath,
+		Threshold:        threshold,
+		HostCPUs:         cur.HostCPUs,
+		BaselineHostCPUs: base.HostCPUs,
+		Advisory:         cur.HostCPUs != base.HostCPUs,
+	}
+	reuse := func(r *ServeBenchReport) *ServeEmbResult {
+		for i := range r.Emb {
+			if r.Emb[i].Mode == "reuse" {
+				return &r.Emb[i]
+			}
+		}
+		return nil
+	}
+	b, c := reuse(base), reuse(cur)
+	if b == nil || b.Load == nil {
+		return nil, fmt.Errorf("bench: serve gate: no reuse cell in baseline %s", baselinePath)
+	}
+	if c == nil || c.Load == nil {
+		return nil, fmt.Errorf("bench: serve gate: fresh run produced no reuse cell")
+	}
+	// The smoke's p99 is the tail of ~200 requests — a handful of samples —
+	// so it gets a wider tolerance than the (stable) median. A tail blowup
+	// still fails; run-to-run jitter of the 2nd-slowest request does not.
+	tailThreshold := threshold * TailGateFactor
+	cells := []struct {
+		name           string
+		baseNs, currNs int64
+		tol            float64
+	}{
+		{"serve/reuse/p50_ns", b.Load.P50NS, c.Load.P50NS, threshold},
+		{"serve/reuse/p99_ns", b.Load.P99NS, c.Load.P99NS, tailThreshold},
+	}
+	for _, cc := range cells {
+		if cc.baseNs <= 0 {
+			continue
+		}
+		cell := GateCell{
+			Name:       cc.name,
+			BaselineNs: cc.baseNs,
+			CurrentNs:  cc.currNs,
+			Ratio:      float64(cc.currNs) / float64(cc.baseNs),
+		}
+		cell.Regressed = cell.Ratio > 1+cc.tol
+		if cell.Regressed && !rep.Advisory {
+			rep.Failed = true
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("bench: serve gate found no comparable cells in %s", baselinePath)
+	}
+	return rep, nil
+}
+
+// WriteServeGate runs the serve gate and writes the comparison artifact to
+// outPath (skipped when empty), before any failure is reported.
+func WriteServeGate(baselinePath, outPath string, scale, threshold float64) (*GateReport, error) {
+	rep, err := RunServeGate(baselinePath, scale, threshold)
+	if err != nil {
+		return nil, err
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}

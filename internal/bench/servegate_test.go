@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"betty/internal/serve"
+)
+
+// servegateReport builds a minimal report with one reuse cell at the given
+// latencies.
+func servegateReport(cpus int, p50, p99 int64) *ServeBenchReport {
+	return &ServeBenchReport{
+		HostCPUs: cpus,
+		Emb: []ServeEmbResult{
+			{Mode: "off", Load: &serve.LoadReport{P50NS: p50, P99NS: p99}},
+			{Mode: "reuse", Load: &serve.LoadReport{P50NS: p50, P99NS: p99}},
+		},
+	}
+}
+
+// The median is held to the threshold itself; a 10% p50 regression on a
+// comparable host fails the gate.
+func TestServeGateFailsOnMedianRegression(t *testing.T) {
+	base := servegateReport(8, 1_000_000, 10_000_000)
+	cur := servegateReport(8, 1_100_000, 10_000_000)
+	rep, err := CompareServeBench(base, cur, "b.json", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Fatal("10% p50 regression did not fail the gate")
+	}
+	if rep.Cells[0].Name != "serve/reuse/p50_ns" || !rep.Cells[0].Regressed {
+		t.Fatalf("p50 cell not flagged: %+v", rep.Cells)
+	}
+}
+
+// The smoke's p99 comes from a handful of tail samples, so it gets the
+// widened TailGateFactor tolerance: 10% jitter passes, a blowup beyond
+// threshold*TailGateFactor still fails.
+func TestServeGateTailTolerance(t *testing.T) {
+	base := servegateReport(8, 1_000_000, 10_000_000)
+
+	jitter := servegateReport(8, 1_000_000, 11_000_000) // +10% p99
+	rep, err := CompareServeBench(base, jitter, "b.json", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatal("tail jitter within the widened tolerance failed the gate")
+	}
+
+	blowup := servegateReport(8, 1_000_000, 10_000_000+int64(float64(10_000_000)*0.05*TailGateFactor)+1_000_000)
+	rep, err = CompareServeBench(base, blowup, "b.json", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Fatal("tail blowup beyond threshold*TailGateFactor passed the gate")
+	}
+}
+
+// A baseline measured on different host parallelism demotes the gate to
+// advisory: cells are still compared and flagged, but nothing fails.
+func TestServeGateHostMismatchIsAdvisory(t *testing.T) {
+	base := servegateReport(4, 1_000_000, 10_000_000)
+	cur := servegateReport(8, 2_000_000, 40_000_000)
+	rep, err := CompareServeBench(base, cur, "b.json", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Advisory {
+		t.Fatal("host-CPU mismatch did not demote the gate to advisory")
+	}
+	if rep.Failed {
+		t.Fatal("advisory comparison must never fail the gate")
+	}
+	if !rep.Cells[0].Regressed {
+		t.Fatal("advisory mode must still flag regressed cells")
+	}
+}
+
+// A baseline without a reuse cell (pre-embcache BENCH_serve.json) is a
+// loud error naming the baseline, not a silently green gate.
+func TestServeGateMissingReuseCell(t *testing.T) {
+	base := &ServeBenchReport{HostCPUs: 8}
+	cur := servegateReport(8, 1_000_000, 10_000_000)
+	_, err := CompareServeBench(base, cur, "old_baseline.json", 0.05)
+	if err == nil || !strings.Contains(err.Error(), "old_baseline.json") {
+		t.Fatalf("stale baseline error = %v, want it to name the baseline", err)
+	}
+}

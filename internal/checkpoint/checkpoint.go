@@ -104,3 +104,25 @@ func LoadFile(path string, m nn.Module) (map[string]string, error) {
 	defer f.Close()
 	return Load(f, m)
 }
+
+// Invalidator is anything holding state derived from the model weights
+// that a checkpoint load makes stale — the historical-embedding cache
+// (embcache.Cache, serve.Server) being the motivating case.
+type Invalidator interface {
+	Invalidate()
+}
+
+// LoadFileAndInvalidate restores a checkpoint and, only after the
+// parameters have actually been replaced, invalidates the derived state.
+// A failed load leaves both the model and inv untouched, so callers never
+// pay a cache flush for a checkpoint that was rejected.
+func LoadFileAndInvalidate(path string, m nn.Module, inv Invalidator) (map[string]string, error) {
+	meta, err := LoadFile(path, m)
+	if err != nil {
+		return nil, err
+	}
+	if inv != nil {
+		inv.Invalidate()
+	}
+	return meta, nil
+}

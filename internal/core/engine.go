@@ -22,6 +22,7 @@ import (
 
 	"betty/internal/dataset"
 	"betty/internal/device"
+	"betty/internal/embcache"
 	"betty/internal/graph"
 	"betty/internal/memory"
 	"betty/internal/nn"
@@ -68,6 +69,12 @@ type Engine struct {
 	// bitwise identical to resampling — the macro.reuse / macro.resample
 	// counters record which path each epoch took.
 	Frontiers FrontierCache
+
+	// frontierMeter measures cross-micro-batch frontier overlap
+	// (sample.frontier.* metrics) — the temporal-locality signal the
+	// historical-embedding cache exploits. Built lazily once a registry
+	// is installed.
+	frontierMeter *embcache.Meter
 }
 
 // FrontierCache persists sampled full-batch frontiers across epochs (and
@@ -287,8 +294,15 @@ func (e *Engine) labeledOutputs(micros [][]*graph.Block) ([]int, int) {
 // devices the simulation spreads it over.
 func (e *Engine) executePlan(plan *memory.Plan, st *EpochStats) error {
 	labeledPer, totalLabeled := e.labeledOutputs(plan.Micro)
+	if e.frontierMeter == nil && e.Obs != nil {
+		e.frontierMeter = embcache.NewMeter(e.Obs)
+	}
 	correct, labeled := 0, 0
 	for i, micro := range plan.Micro {
+		// micro[0].DstNID is the layer-1 destination frontier — the
+		// embedding cache's key space — so its overlap with the previous
+		// micro-batch is exactly the reusable fraction.
+		e.frontierMeter.Observe(micro[0].DstNID)
 		// Reset the peak tracker per micro-batch: transient buffers are
 		// freed between micro-batches, so the epoch peak is the max of the
 		// per-micro peaks — unchanged — while each measurement now lines

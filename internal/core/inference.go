@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"betty/internal/embcache"
 	"betty/internal/graph"
 	"betty/internal/nn"
 	"betty/internal/sample"
@@ -10,44 +11,15 @@ import (
 )
 
 // BlockLayer is one GNN layer that can be applied to a single bipartite
-// block — the unit of layer-wise inference. All conv layers in package nn
-// satisfy it.
-type BlockLayer interface {
-	Forward(tp *tensor.Tape, b *graph.Block, h *tensor.Var) *tensor.Var
-}
+// block — the unit of layer-wise inference. The canonical definition
+// lives in package nn (nn.LayerStack / nn.ApplyBlockLayer) so the
+// embedding cache's partial-skip forward can share it; the alias keeps
+// core's historical API.
+type BlockLayer = nn.BlockLayer
 
 // layerStack extracts the per-layer modules of a supported model.
 func layerStack(model any) ([]BlockLayer, error) {
-	switch m := model.(type) {
-	case *nn.GraphSAGE:
-		out := make([]BlockLayer, len(m.Layers))
-		for i, l := range m.Layers {
-			out[i] = l
-		}
-		return out, nil
-	case *nn.GAT:
-		out := make([]BlockLayer, len(m.Layers))
-		for i, l := range m.Layers {
-			out[i] = l
-		}
-		return out, nil
-	case *nn.GCN:
-		out := make([]BlockLayer, len(m.Layers))
-		for i, l := range m.Layers {
-			out[i] = l
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("core: layer-wise inference does not support %T", model)
-	}
-}
-
-// fusedBlockLayer is the optional fused-tier interface (DESIGN.md §13):
-// layers that implement it run gather→aggregate→bias→ReLU in fused kernels,
-// with the inter-layer ReLU folded in. Fusion is bitwise-exact, so which
-// path executes never changes a prediction byte.
-type fusedBlockLayer interface {
-	ForwardFused(tp *tensor.Tape, b *graph.Block, h *tensor.Var, relu bool) *tensor.Var
+	return nn.LayerStack(model)
 }
 
 // applyLayer runs one GNN layer over one block, applying the inter-layer
@@ -56,14 +28,7 @@ type fusedBlockLayer interface {
 // layer-wise offline inference (LayerwiseInference). Layers that implement
 // the fused tier take it when BETTY_FUSED is on.
 func applyLayer(tp *tensor.Tape, layer BlockLayer, b *graph.Block, h *tensor.Var, last bool) *tensor.Var {
-	if fl, ok := layer.(fusedBlockLayer); ok && nn.FusedEnabled() {
-		return fl.ForwardFused(tp, b, h, !last)
-	}
-	out := layer.Forward(tp, b, h)
-	if !last {
-		out = tp.ReLU(out)
-	}
-	return out
+	return nn.ApplyBlockLayer(tp, layer, b, h, last)
 }
 
 // BatchInference runs one forward pass of model over an input-first block
@@ -79,6 +44,15 @@ func applyLayer(tp *tensor.Tape, layer BlockLayer, b *graph.Block, h *tensor.Var
 // sequence is identical in all cases, so predictions are bitwise equal
 // across the three paths.
 func BatchInference(model any, blocks []*graph.Block, feats *tensor.Tensor) (*tensor.Tensor, error) {
+	return BatchInferenceCached(model, blocks, feats, nil)
+}
+
+// BatchInferenceCached is BatchInference with an optional historical-
+// embedding cache (DESIGN.md §16). A nil or off cache takes exactly the
+// plain path; an exact cache verifies layer-1 rows bitwise while
+// populating; a reuse cache splices cached layer-1 rows into the layer-2
+// input and computes only the missed destinations.
+func BatchInferenceCached(model any, blocks []*graph.Block, feats *tensor.Tensor, ec *embcache.Cache) (*tensor.Tensor, error) {
 	layers, err := layerStack(model)
 	if err != nil {
 		return nil, err
@@ -91,9 +65,9 @@ func BatchInference(model any, blocks []*graph.Block, feats *tensor.Tensor) (*te
 	}
 	tp := tensor.NewTape()
 	defer tp.Release() // logits are cloned out below; recycle the arena
-	h := tensor.Leaf(feats)
-	for i, layer := range layers {
-		h = applyLayer(tp, layer, blocks[i], h, i == len(layers)-1)
+	h, err := embcache.Forward(tp, model, blocks, tensor.Leaf(feats), ec)
+	if err != nil {
+		return nil, err
 	}
 	return h.Value.Clone(), nil
 }

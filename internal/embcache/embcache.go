@@ -1,0 +1,372 @@
+package embcache
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+
+	"betty/internal/device"
+	"betty/internal/obs"
+	"betty/internal/tensor"
+)
+
+// Config assembles a Cache.
+type Config struct {
+	// Mode is off/exact/reuse; New returns nil for ModeOff so callers can
+	// thread the result unconditionally (all methods are nil-safe).
+	Mode Mode
+	// BudgetBytes bounds resident row bytes. Required when Ledger is nil.
+	BudgetBytes int64
+	// MaxLag is the maximum weight-version lag a reuse hit may carry.
+	MaxLag int
+	// Ledger, when non-nil, is the device ledger cache bytes are charged
+	// to (shared with other caches); otherwise the cache creates its own
+	// ledger of capacity BudgetBytes.
+	Ledger *device.Device
+	// Obs receives counters and gauges (nil is fine).
+	Obs *obs.Registry
+}
+
+// entry is one cached layer-1 row. version records the weight version the
+// row was computed under; staleness is version lag, checked lazily at
+// lookup so invalidation is O(1).
+type entry struct {
+	nid     int32
+	version uint64
+	row     []float32
+	buf     *device.Buffer
+	elem    *list.Element
+}
+
+// Cache is a concurrency-safe versioned historical-embedding cache.
+// Rows are copied in and out under the lock — no caller ever holds a
+// reference into cache-owned memory, so eviction needs no pinning.
+type Cache struct {
+	mode   Mode
+	maxLag uint64
+	budget int64
+	ledger *device.Device
+	reg    *obs.Registry
+
+	mu             sync.Mutex
+	version        uint64
+	entries        map[int32]*entry
+	lru            *list.List // front = most recent; values are *entry
+	residentBytes  int64
+	rowDim         int
+	maxObservedLag uint64
+	hits, misses   int64
+}
+
+// New builds a cache, or nil when cfg.Mode is ModeOff.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Mode == ModeOff {
+		return nil, nil
+	}
+	if cfg.MaxLag < 0 {
+		return nil, fmt.Errorf("embcache: negative max lag %d", cfg.MaxLag)
+	}
+	ledger := cfg.Ledger
+	if ledger == nil {
+		if cfg.BudgetBytes <= 0 {
+			return nil, fmt.Errorf("embcache: budget must be positive, got %d", cfg.BudgetBytes)
+		}
+		ledger = device.New(cfg.BudgetBytes, device.CostModel{})
+	} else if cfg.BudgetBytes <= 0 {
+		return nil, fmt.Errorf("embcache: shared-ledger cache needs a positive self-budget, got %d", cfg.BudgetBytes)
+	}
+	c := &Cache{
+		mode:    cfg.Mode,
+		maxLag:  uint64(cfg.MaxLag),
+		budget:  cfg.BudgetBytes,
+		ledger:  ledger,
+		reg:     cfg.Obs,
+		entries: make(map[int32]*entry),
+		lru:     list.New(),
+	}
+	c.reg.Set("embcache.budget_bytes", cfg.BudgetBytes)
+	c.reg.Set("embcache.version", 0)
+	return c, nil
+}
+
+// Active reports whether forwards should consult the cache.
+func (c *Cache) Active() bool { return c != nil && c.mode != ModeOff }
+
+// Mode returns the cache mode (ModeOff for a nil cache).
+func (c *Cache) Mode() Mode {
+	if c == nil {
+		return ModeOff
+	}
+	return c.mode
+}
+
+// Version returns the current weight version.
+func (c *Cache) Version() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Dim returns the cached row width, or 0 before the first Store.
+func (c *Cache) Dim() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rowDim
+}
+
+// MaxObservedLag returns the largest version lag any reuse hit has
+// carried — the quantity the staleness-bound test pins against MaxLag.
+func (c *Cache) MaxObservedLag() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxObservedLag
+}
+
+// Stats returns the cumulative FetchInto hit and miss counts (zeros for
+// a nil cache). In exact mode every lookup reports a miss by
+// construction — compute is never skipped.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// ResidentBytes returns the ledger-charged bytes currently held.
+func (c *Cache) ResidentBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.residentBytes
+}
+
+// BumpVersion advances the weight version by one — called after every
+// optimizer step. Entries are not touched: staleness is evaluated lazily
+// at lookup against the new version.
+func (c *Cache) BumpVersion() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.version++
+	v := c.version
+	c.mu.Unlock()
+	c.reg.Set("embcache.version", int64(v))
+}
+
+// Invalidate advances the version past every entry's reuse window —
+// called on checkpoint load, when the weights change discontinuously.
+// Entries drop lazily on their next lookup; no eager sweep.
+func (c *Cache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.version += c.maxLag + 1
+	v := c.version
+	c.mu.Unlock()
+	c.reg.Add("embcache.invalidations", 1)
+	c.reg.Set("embcache.version", int64(v))
+}
+
+// Flush drops every entry and releases its ledger charge — called when a
+// server shuts down, after the batch worker has fully drained.
+func (c *Cache) Flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		c.ledger.Free(e.buf)
+		c.residentBytes -= e.buf.Bytes()
+	}
+	c.lru.Init()
+	c.entries = make(map[int32]*entry)
+	c.publishResidency()
+}
+
+// FetchInto looks up nids and copies each hit's row into dst(i). Only
+// reuse mode returns hits; exact mode always reports misses so the
+// caller computes in full (verification happens in VerifyAndStore).
+// Returns the per-node hit mask and the hit count.
+func (c *Cache) FetchInto(nids []int32, dst func(i int) []float32) ([]bool, int) {
+	if !c.Active() {
+		return make([]bool, len(nids)), 0
+	}
+	hit := make([]bool, len(nids))
+	if c.mode != ModeReuse {
+		c.mu.Lock()
+		c.misses += int64(len(nids))
+		c.mu.Unlock()
+		c.reg.Add("embcache.misses", int64(len(nids)))
+		return hit, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hits, staleDrops := 0, 0
+	for i, nid := range nids {
+		e, ok := c.entries[nid]
+		if !ok {
+			continue
+		}
+		lag := c.version - e.version
+		if lag > c.maxLag {
+			c.removeLocked(e)
+			staleDrops++
+			continue
+		}
+		copy(dst(i), e.row)
+		c.lru.MoveToFront(e.elem)
+		if lag > c.maxObservedLag {
+			c.maxObservedLag = lag
+		}
+		c.reg.Observe("embcache.hit_lag", int64(lag))
+		hit[i] = true
+		hits++
+	}
+	c.hits += int64(hits)
+	c.misses += int64(len(nids) - hits)
+	c.reg.Add("embcache.hits", int64(hits))
+	c.reg.Add("embcache.misses", int64(len(nids)-hits))
+	if staleDrops > 0 {
+		c.reg.Add("embcache.stale_drops", int64(staleDrops))
+		c.publishResidency()
+	}
+	return hit, hits
+}
+
+// Store inserts rows of t (one per nid, at the current version), evicting
+// LRU entries as needed to fit the budget. Rows that cannot fit even
+// after evicting everything else are skipped, never partially stored.
+func (c *Cache) Store(nids []int32, t *tensor.Tensor) error {
+	return c.store(nids, t, false)
+}
+
+// VerifyAndStore is the exact-mode path: any cached row already at the
+// current version must be bitwise equal to the freshly recomputed row in
+// t. A mismatch is a loud error — it means the cache and the forward
+// disagree about the same weights, which is exactly the corruption the
+// self-check mode exists to catch. Rows are then (re)stored as in Store.
+func (c *Cache) VerifyAndStore(nids []int32, t *tensor.Tensor) error {
+	return c.store(nids, t, true)
+}
+
+func (c *Cache) store(nids []int32, t *tensor.Tensor, verify bool) error {
+	if !c.Active() || len(nids) == 0 {
+		return nil
+	}
+	if t.Rows() != len(nids) {
+		return fmt.Errorf("embcache: %d rows for %d node ids", t.Rows(), len(nids))
+	}
+	dim := t.Cols()
+	rowBytes := int64(dim) * 4
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rowDim == 0 {
+		c.rowDim = dim
+	} else if c.rowDim != dim {
+		return fmt.Errorf("embcache: row dim changed %d -> %d", c.rowDim, dim)
+	}
+	budgetSkips := 0
+	for i, nid := range nids {
+		fresh := t.Row(i)
+		if e, ok := c.entries[nid]; ok {
+			if verify && e.version == c.version {
+				if j := mismatch(e.row, fresh); j >= 0 {
+					c.reg.Add("embcache.verify_failures", 1)
+					return fmt.Errorf("embcache: exact-mode verify failed for node %d at version %d: cached[%d]=%x recomputed=%x",
+						nid, c.version, j, math.Float32bits(e.row[j]), math.Float32bits(fresh[j]))
+				}
+			}
+			copy(e.row, fresh)
+			e.version = c.version
+			c.lru.MoveToFront(e.elem)
+			continue
+		}
+		buf, err := c.allocLocked(rowBytes)
+		if err != nil {
+			budgetSkips++
+			continue
+		}
+		e := &entry{nid: nid, version: c.version, row: make([]float32, dim), buf: buf}
+		copy(e.row, fresh)
+		e.elem = c.lru.PushFront(e)
+		c.entries[nid] = e
+		c.residentBytes += buf.Bytes()
+	}
+	if budgetSkips > 0 {
+		c.reg.Add("embcache.budget_skips", int64(budgetSkips))
+	}
+	c.publishResidency()
+	return nil
+}
+
+// allocLocked charges rowBytes to the ledger, evicting this cache's own
+// LRU tail until both the self-budget and the (possibly shared) ledger
+// accept the charge. Fails only when the row cannot fit at all.
+func (c *Cache) allocLocked(rowBytes int64) (*device.Buffer, error) {
+	for {
+		overBudget := c.residentBytes+rowBytes > c.budget
+		var buf *device.Buffer
+		var err error
+		if !overBudget {
+			buf, err = c.ledger.Alloc(rowBytes, "embcache.row")
+			if err == nil {
+				return buf, nil
+			}
+		}
+		tail := c.lru.Back()
+		if tail == nil {
+			if overBudget {
+				return nil, fmt.Errorf("embcache: row of %d bytes exceeds budget %d", rowBytes, c.budget)
+			}
+			return nil, err
+		}
+		c.removeLocked(tail.Value.(*entry))
+		c.reg.Add("embcache.evictions", 1)
+	}
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.nid)
+	c.ledger.Free(e.buf)
+	c.residentBytes -= e.buf.Bytes()
+}
+
+func (c *Cache) publishResidency() {
+	c.reg.Set("embcache.resident_bytes", c.residentBytes)
+	c.reg.Set("embcache.resident_rows", int64(c.lru.Len()))
+	c.reg.Set("embcache.resident_peak_bytes", c.ledger.Peak())
+}
+
+// mismatch returns the first index where a and b differ bitwise, or -1.
+// NaN payloads and signed zeros count as differences: the exact-mode
+// contract is bit equality, not numeric equality.
+func mismatch(a, b []float32) int {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return i
+		}
+	}
+	return -1
+}

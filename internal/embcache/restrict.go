@@ -1,0 +1,71 @@
+package embcache
+
+import "betty/internal/graph"
+
+// restrictDst builds the sub-block of b containing only the destinations
+// in keep (ascending old local dst indices) and the sources they reach.
+// Because every forward kernel computes each output row only from that
+// row's own inputs (the per-row stability invariant, DESIGN.md §11), a
+// layer applied to the sub-block yields rows bitwise equal to the
+// corresponding rows of the full block — which is what lets a partial
+// cache hit skip exactly the hit rows.
+//
+// The returned srcSel maps the sub-block's local source index to the old
+// local source index, for gathering the matching feature rows.
+//
+// The kept destinations become the sub-block's source prefix: old local
+// destination k is also old local source k (blocks list destinations
+// first among sources), so the SrcNID[:NumDst] == DstNID invariant holds
+// by construction. Remaining sources follow in first-occurrence order of
+// the retained edges, so the construction is deterministic.
+func restrictDst(b *graph.Block, keep []int32) (*graph.Block, []int32) {
+	m := len(keep)
+	srcSel := make([]int32, m, m+len(b.SrcLocal)/2)
+	srcMap := make(map[int32]int32, m)
+	for i, d := range keep {
+		srcSel[i] = d
+		srcMap[d] = int32(i)
+	}
+	sub := &graph.Block{
+		NumDst: m,
+		Ptr:    make([]int64, 1, m+1),
+		DstNID: make([]int32, m),
+	}
+	edgeCap := 0
+	for _, d := range keep {
+		edgeCap += int(b.Ptr[d+1] - b.Ptr[d])
+	}
+	sub.SrcLocal = make([]int32, 0, edgeCap)
+	if b.EID != nil {
+		sub.EID = make([]int32, 0, edgeCap)
+	}
+	if b.EdgeWt != nil {
+		sub.EdgeWt = make([]float32, 0, edgeCap)
+	}
+	for i, d := range keep {
+		sub.DstNID[i] = b.DstNID[d]
+		for e := b.Ptr[d]; e < b.Ptr[d+1]; e++ {
+			s := b.SrcLocal[e]
+			ns, ok := srcMap[s]
+			if !ok {
+				ns = int32(len(srcSel))
+				srcMap[s] = ns
+				srcSel = append(srcSel, s)
+			}
+			sub.SrcLocal = append(sub.SrcLocal, ns)
+			if b.EID != nil {
+				sub.EID = append(sub.EID, b.EID[e])
+			}
+			if b.EdgeWt != nil {
+				sub.EdgeWt = append(sub.EdgeWt, b.EdgeWt[e])
+			}
+		}
+		sub.Ptr = append(sub.Ptr, int64(len(sub.SrcLocal)))
+	}
+	sub.NumSrc = len(srcSel)
+	sub.SrcNID = make([]int32, len(srcSel))
+	for j, s := range srcSel {
+		sub.SrcNID[j] = b.SrcNID[s]
+	}
+	return sub, srcSel
+}

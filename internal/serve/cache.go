@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 
+	"betty/internal/device"
 	"betty/internal/tensor"
 )
 
@@ -13,30 +14,39 @@ import (
 // copied, never what they are; under a quantized mode the gather path
 // round-trips misses through the same codec before staging, so cache state
 // still cannot affect served predictions.
+//
+// Resident row bytes are charged to the server's cache ledger — the same
+// device.Device the embedding cache charges — so all resident cache state
+// is accountable against one budget. A row the ledger cannot fit even
+// after evicting this cache's own tail is simply not cached (the miss
+// path already produced the staged bytes), never a failed request.
 type featureCache struct {
 	capNodes int
 	mode     tensor.QuantMode
+	ledger   *device.Device
 	entries  map[int32]*list.Element
 	order    *list.List // front = most recently used
-	bytes    int64      // resident row bytes, for the cache-size gauge
+	bytes    int64      // ledger-charged resident row bytes, for the cache-size gauge
 }
 
 // cacheEntry is one resident row.
 type cacheEntry struct {
 	nid int32
 	row quantRow
+	buf *device.Buffer
 }
 
 // newFeatureCache returns a cache holding up to capNodes rows encoded under
-// mode; capNodes <= 0 returns nil, and every method is safe on a nil cache
-// (always a miss).
-func newFeatureCache(capNodes int, mode tensor.QuantMode) *featureCache {
+// mode, charging resident bytes to ledger; capNodes <= 0 returns nil, and
+// every method is safe on a nil cache (always a miss).
+func newFeatureCache(capNodes int, mode tensor.QuantMode, ledger *device.Device) *featureCache {
 	if capNodes <= 0 {
 		return nil
 	}
 	return &featureCache{
 		capNodes: capNodes,
 		mode:     mode,
+		ledger:   ledger,
 		entries:  make(map[int32]*list.Element, capNodes),
 		order:    list.New(),
 	}
@@ -57,7 +67,8 @@ func (c *featureCache) get(nid int32) (quantRow, bool) {
 }
 
 // put inserts an already-encoded row for nid, evicting the least recently
-// used entry when full. Re-inserting an existing key refreshes its recency.
+// used entry when full (by node count or by ledger budget). Re-inserting
+// an existing key refreshes its recency.
 func (c *featureCache) put(nid int32, row quantRow) {
 	if c == nil {
 		return
@@ -67,14 +78,58 @@ func (c *featureCache) put(nid int32, row quantRow) {
 		return
 	}
 	if c.order.Len() >= c.capNodes {
-		back := c.order.Back()
-		c.order.Remove(back)
-		e := back.Value.(*cacheEntry)
-		c.bytes -= e.row.bytes()
-		delete(c.entries, e.nid)
+		c.evictBack()
 	}
-	c.entries[nid] = c.order.PushFront(&cacheEntry{nid: nid, row: row})
-	c.bytes += row.bytes()
+	var buf *device.Buffer
+	if c.ledger != nil {
+		for {
+			var err error
+			if buf, err = c.ledger.Alloc(row.bytes(), "serve.feature_row"); err == nil {
+				break
+			}
+			if c.order.Len() == 0 {
+				return // row cannot fit at all; serve it uncached
+			}
+			c.evictBack()
+		}
+	}
+	c.entries[nid] = c.order.PushFront(&cacheEntry{nid: nid, row: row, buf: buf})
+	c.bytes += c.charged(row, buf)
+}
+
+// evictBack drops the least recently used entry and returns its ledger
+// charge.
+func (c *featureCache) evictBack() {
+	back := c.order.Back()
+	if back == nil {
+		return
+	}
+	c.order.Remove(back)
+	e := back.Value.(*cacheEntry)
+	c.bytes -= c.charged(e.row, e.buf)
+	if e.buf != nil {
+		c.ledger.Free(e.buf)
+	}
+	delete(c.entries, e.nid)
+}
+
+// charged is the accountable size of one row: the ledger's rounded
+// allocation when charging, the raw row bytes otherwise.
+func (c *featureCache) charged(row quantRow, buf *device.Buffer) int64 {
+	if buf != nil {
+		return buf.Bytes()
+	}
+	return row.bytes()
+}
+
+// flush drops every entry and releases its ledger charge.
+func (c *featureCache) flush() {
+	if c == nil {
+		return
+	}
+	for c.order.Len() > 0 {
+		c.evictBack()
+	}
 }
 
 // len returns the resident node count.
@@ -85,7 +140,7 @@ func (c *featureCache) len() int {
 	return c.order.Len()
 }
 
-// residentBytes returns the resident row bytes.
+// residentBytes returns the ledger-charged resident row bytes.
 func (c *featureCache) residentBytes() int64 {
 	if c == nil {
 		return 0

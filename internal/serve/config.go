@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"betty/internal/embcache"
 	"betty/internal/obs"
 	"betty/internal/tensor"
 )
@@ -43,6 +44,16 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxRequestNodes bounds the seed nodes of a single request.
 	MaxRequestNodes int
+
+	// EmbMode selects the historical-embedding cache behavior (DESIGN.md
+	// §16): off, exact (populate + bitwise self-check, the default), or
+	// reuse (skip layer-1 compute on hits within EmbMaxLag versions).
+	EmbMode embcache.Mode
+	// EmbBudgetMiB bounds the embedding cache's resident bytes; charged
+	// to the same ledger as the feature cache.
+	EmbBudgetMiB int64
+	// EmbMaxLag is the maximum weight-version lag a reuse hit may carry.
+	EmbMaxLag int
 
 	// Quant selects the at-rest storage format of the serving path's
 	// weights and cached feature rows (DESIGN.md §13): QuantOff (exact
@@ -82,6 +93,9 @@ func Defaults() Config {
 		DefaultTimeout:  time.Second,
 		MaxRequestNodes: 1024,
 		CapacityBytes:   256 << 20,
+		EmbMode:         embcache.ModeExact,
+		EmbBudgetMiB:    64,
+		EmbMaxLag:       1,
 	}
 }
 
@@ -123,6 +137,17 @@ func (c *Config) Validate() error {
 	case tensor.QuantOff, tensor.QuantF16, tensor.QuantInt8:
 	default:
 		return fmt.Errorf("serve: unknown quant mode %d", int(c.Quant))
+	}
+	switch c.EmbMode {
+	case embcache.ModeOff, embcache.ModeExact, embcache.ModeReuse:
+	default:
+		return fmt.Errorf("serve: unknown embedding-cache mode %d", int(c.EmbMode))
+	}
+	if c.EmbMode != embcache.ModeOff && c.EmbBudgetMiB <= 0 {
+		return fmt.Errorf("serve: EmbBudgetMiB must be positive with the embedding cache on (got %d)", c.EmbBudgetMiB)
+	}
+	if c.EmbMaxLag < 0 {
+		return fmt.Errorf("serve: EmbMaxLag must be non-negative (got %d)", c.EmbMaxLag)
 	}
 	return nil
 }
@@ -182,6 +207,26 @@ func (c *Config) ApplyEnv(getenv func(string) string) error {
 			return fmt.Errorf("serve: %w", err)
 		}
 		c.Quant = mode
+	}
+	// The embedding-cache knobs are repo-wide contracts like BETTY_QUANT
+	// (training honors them too); their hardened parsers live next to the
+	// cache. ParseMode maps "" to exact, so only override when set.
+	if raw := getenv(embcache.EnvMode); raw != "" {
+		mode, err := embcache.ParseMode(raw)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		c.EmbMode = mode
+	}
+	if mib, err := embcache.ParseBudgetMiB(getenv(embcache.EnvBudgetMiB)); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	} else if mib > 0 {
+		c.EmbBudgetMiB = mib
+	}
+	if lag, err := embcache.ParseMaxLag(getenv(embcache.EnvMaxLag)); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	} else if lag >= 0 {
+		c.EmbMaxLag = lag
 	}
 	return nil
 }

@@ -26,6 +26,13 @@ type LoadConfig struct {
 	Timeout time.Duration
 	// Seed drives node selection and the arrival process.
 	Seed uint64
+	// Skew shapes the node popularity distribution. <= 1 keeps the
+	// uniform draw; above 1, node i is drawn with probability density
+	// proportional to a power law (idx = n * u^Skew for uniform u), so a
+	// small set of hot nodes dominates the trace — the temporal-locality
+	// shape real serving traffic has, and what the historical-embedding
+	// cache's hit rate is measured against.
+	Skew float64
 }
 
 // LoadReport summarizes one load run.
@@ -62,7 +69,15 @@ func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
 	for i := range traces {
 		nodes := make([]int32, cfg.NodesPerRequest)
 		for j := range nodes {
-			nodes[j] = int32(r.Intn(n))
+			if cfg.Skew > 1 {
+				idx := int(float64(n) * math.Pow(r.Float64(), cfg.Skew))
+				if idx >= n {
+					idx = n - 1
+				}
+				nodes[j] = int32(idx)
+			} else {
+				nodes[j] = int32(r.Intn(n))
+			}
 		}
 		traces[i] = nodes
 		if cfg.MeanGap > 0 {

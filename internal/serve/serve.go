@@ -32,6 +32,8 @@ import (
 
 	"betty/internal/core"
 	"betty/internal/dataset"
+	"betty/internal/device"
+	"betty/internal/embcache"
 	"betty/internal/memory"
 	"betty/internal/obs"
 	"betty/internal/reg"
@@ -79,14 +81,28 @@ type Server struct {
 	obs     *obs.Registry
 	cache   *featureCache
 	quant   *quantStore
+	// cacheLedger is the one device ledger all resident cache state —
+	// feature rows and historical embeddings — is charged to, so the two
+	// caches share a single accountable budget (DESIGN.md §16).
+	cacheLedger *device.Device
+	// emb is the historical-embedding cache (nil when EmbMode is off).
+	emb *embcache.Cache
+	// frontier measures cross-batch layer-1 frontier overlap — the
+	// sample.frontier.* locality signal behind the embedding cache.
+	frontier *embcache.Meter
 	// rowBuf stages one feature row on cache misses (worker-only).
 	rowBuf []float32
 
 	queue chan *request
 
-	mu     sync.Mutex // guards closed and the send side of queue
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex // guards closed, started, and the send side of queue
+	closed  bool
+	started bool
+	wg      sync.WaitGroup
+	// closeDone is closed once the first Close call has finished draining
+	// and flushing; concurrent/repeat Close calls wait on it so no caller
+	// returns while cache state is still being torn down.
+	closeDone chan struct{}
 
 	// batchSeq numbers executed batches for the batch log (worker-only).
 	batchSeq int64
@@ -116,56 +132,136 @@ func New(ds *dataset.Dataset, model any, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One ledger covers all resident cache state: the feature cache's
+	// worst case (CacheNodes rows at the unquantized row size, each
+	// rounded to the allocation granularity) plus the embedding-cache
+	// budget. Either cache hitting the ledger's ceiling evicts its own
+	// tail first, so neither can starve the other beyond its share.
+	embBudget := int64(0)
+	if cfg.EmbMode != embcache.ModeOff {
+		embBudget = cfg.EmbBudgetMiB * device.MiB
+	}
+	rowWorst := roundAlloc(int64(ds.FeatureDim())*4 + 4)
+	ledger := device.New(int64(cfg.CacheNodes)*rowWorst+embBudget, device.CostModel{})
+	var emb *embcache.Cache
+	if cfg.EmbMode != embcache.ModeOff {
+		emb, err = embcache.New(embcache.Config{
+			Mode:        cfg.EmbMode,
+			BudgetBytes: embBudget,
+			MaxLag:      cfg.EmbMaxLag,
+			Ledger:      ledger,
+			Obs:         cfg.Obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
-		cfg:     cfg,
-		ds:      ds,
-		model:   model,
-		sampler: sample.NewNodeWise(cfg.Fanouts, cfg.Seed),
-		spec:    spec,
-		part:    reg.BettyBatch{Seed: cfg.Seed ^ 0xb7, Obs: cfg.Obs},
-		clock:   cfg.Clock,
-		obs:     cfg.Obs,
-		cache:   newFeatureCache(cfg.CacheNodes, cfg.Quant),
-		quant:   qs,
-		rowBuf:  make([]float32, ds.FeatureDim()),
-		queue:   make(chan *request, cfg.QueueDepth),
+		cfg:         cfg,
+		ds:          ds,
+		model:       model,
+		sampler:     sample.NewNodeWise(cfg.Fanouts, cfg.Seed),
+		spec:        spec,
+		part:        reg.BettyBatch{Seed: cfg.Seed ^ 0xb7, Obs: cfg.Obs},
+		clock:       cfg.Clock,
+		obs:         cfg.Obs,
+		cache:       newFeatureCache(cfg.CacheNodes, cfg.Quant, ledger),
+		quant:       qs,
+		cacheLedger: ledger,
+		emb:         emb,
+		frontier:    embcache.NewMeter(cfg.Obs),
+		rowBuf:      make([]float32, ds.FeatureDim()),
+		queue:       make(chan *request, cfg.QueueDepth),
+		closeDone:   make(chan struct{}),
 	}
 	s.sampler.Obs = cfg.Obs
 	if qs != nil {
 		s.obs.Set("serve.quant_weight_bytes", qs.EncBytes)
 		s.obs.Set("serve.quant_weight_f32_bytes", qs.F32Bytes)
 	}
+	s.obs.Set("serve.cache_ledger_capacity_bytes", ledger.Capacity())
 	return s, nil
+}
+
+// roundAlloc rounds n up to the device allocation granularity, matching
+// what one ledger charge for n bytes actually costs.
+func roundAlloc(n int64) int64 {
+	g := device.AllocGranularity
+	return (n + g - 1) / g * g
 }
 
 // Start launches the batch worker. Requests may be enqueued before Start;
 // they are served in admission order once the worker runs (tests use this
-// to fix batch compositions deterministically).
+// to fix batch compositions deterministically). Start is idempotent, and
+// Start after (or racing) Close is a no-op: launching a worker once the
+// queue is closed would race Close's own drain — both would pull from the
+// closed queue while Close is already flushing the caches behind it.
 func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
 	s.wg.Add(1)
 	go s.worker()
 }
 
-// Close stops admission, drains every already-admitted request, and waits
-// for the worker to exit. It is idempotent. Close on a never-Started
-// server fails queued requests with ErrClosed instead of leaving their
-// callers waiting.
+// Close stops admission, drains every already-admitted request, waits for
+// the worker to exit, and only then flushes the caches — the in-flight
+// batch must complete before its featureCache/embcache writes lose their
+// owner. It is idempotent, and every Close call (not just the first)
+// returns only after the drain and flush have finished. Close on a
+// never-Started server fails queued requests with ErrClosed instead of
+// leaving their callers waiting.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.wg.Wait()
+		<-s.closeDone
 		return nil
 	}
 	s.closed = true
+	started := s.started
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
-	// With no worker running, the drain is ours.
-	for req := range s.queue {
-		s.respond(req, response{err: ErrClosed})
+	if !started {
+		// No worker ever ran: the drain is ours. (A worker started after
+		// this point is impossible — Start checks closed under mu.)
+		for req := range s.queue {
+			s.respond(req, response{err: ErrClosed})
+		}
 	}
+	// The worker has exited and the queue is drained: cache ownership has
+	// reverted to us, so the flush cannot race a batch completion.
+	s.flushCaches()
+	close(s.closeDone)
 	return nil
+}
+
+// flushCaches drops all resident cache state and returns its bytes to the
+// ledger. Called only after the batch worker has fully stopped.
+func (s *Server) flushCaches() {
+	s.cache.flush()
+	s.emb.Flush()
+	s.obs.Set("serve.cache_nodes", int64(s.cache.len()))
+	s.obs.Set("serve.cache_bytes", s.cache.residentBytes())
+	s.publishLedger()
+}
+
+// publishLedger exports the shared cache ledger's residency and peak.
+func (s *Server) publishLedger() {
+	s.obs.Set("serve.cache_ledger_bytes", s.cacheLedger.Used())
+	s.obs.Set("serve.cache_ledger_peak_bytes", s.cacheLedger.Peak())
+}
+
+// Invalidate marks every historical embedding stale — the weights changed
+// out from under the cache (checkpoint swap). Satisfies
+// checkpoint.Invalidator, so weight loads can be written as
+// checkpoint.LoadFileAndInvalidate(path, model, server).
+func (s *Server) Invalidate() {
+	s.emb.Invalidate()
 }
 
 // Predict scores the given nodes and blocks until the response is ready.
@@ -364,6 +460,10 @@ func (s *Server) scoreUnion(union []int32) ([][]float32, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: sampling: %w", err)
 	}
+	// blocks[0].DstNID is the layer-1 destination frontier — the
+	// embedding cache's key space — so its overlap across consecutive
+	// batches is exactly the reusable fraction.
+	s.frontier.Observe(blocks[0].DstNID)
 	pl := &memory.Planner{
 		Capacity:     s.cfg.CapacityBytes,
 		Partitioner:  s.part,
@@ -397,7 +497,11 @@ func (s *Server) scoreUnion(union []int32) ([][]float32, error) {
 		fsp := s.obs.StartSpan(obs.PhaseForward).
 			SetInt("outputs", int64(len(plan.Groups[gi]))).
 			SetInt("inputs", int64(micro[0].NumSrc))
-		logits, err := core.BatchInference(s.model, micro, feats)
+		// layer1_dst_rows counts what a cache-less forward computes at
+		// layer 1; against embcache.computed_rows it yields the
+		// compute-per-request saving in the bench report.
+		s.obs.Add("serve.layer1_dst_rows", int64(micro[0].NumDst))
+		logits, err := core.BatchInferenceCached(s.model, micro, feats, s.emb)
 		fsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("serve: forward: %w", err)
@@ -447,6 +551,7 @@ func (s *Server) gather(nids []int32) (*tensor.Tensor, error) {
 	s.obs.Add("serve.cache_misses", misses)
 	s.obs.Set("serve.cache_nodes", int64(s.cache.len()))
 	s.obs.Set("serve.cache_bytes", s.cache.residentBytes())
+	s.publishLedger()
 	return out, nil
 }
 
@@ -483,11 +588,13 @@ type Stats struct {
 	Requests, Batches, BatchedRequests  int64
 	RejectedQueueFull, DeadlineExceeded int64
 	CacheHits, CacheMisses              int64
+	EmbHits, EmbMisses                  int64
 	MaxEstPeakBytes                     int64
 }
 
 // StatsSnapshot reads the counters from the registry (zero without one).
 func (s *Server) StatsSnapshot() Stats {
+	embHits, embMisses := s.emb.Stats()
 	return Stats{
 		Requests:          s.obs.CounterValue("serve.requests"),
 		Batches:           s.obs.CounterValue("serve.batches"),
@@ -496,6 +603,8 @@ func (s *Server) StatsSnapshot() Stats {
 		DeadlineExceeded:  s.obs.CounterValue("serve.deadline_exceeded"),
 		CacheHits:         s.obs.CounterValue("serve.cache_hits"),
 		CacheMisses:       s.obs.CounterValue("serve.cache_misses"),
+		EmbHits:           embHits,
+		EmbMisses:         embMisses,
 		MaxEstPeakBytes:   func() int64 { v, _ := s.obs.GaugeValue("serve.max_est_peak_bytes"); return v }(),
 	}
 }

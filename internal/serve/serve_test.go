@@ -362,7 +362,7 @@ func TestFeatureCache(t *testing.T) {
 func TestFeatureCacheLRU(t *testing.T) {
 	row := func(v float32) quantRow { return encodeRow(tensor.QuantOff, []float32{v}) }
 	hit := func(nid int32, c *featureCache) bool { _, ok := c.get(nid); return ok }
-	c := newFeatureCache(2, tensor.QuantOff)
+	c := newFeatureCache(2, tensor.QuantOff, nil)
 	c.put(1, row(1))
 	c.put(2, row(2))
 	if !hit(1, c) { // 1 becomes most recent
@@ -386,7 +386,7 @@ func TestFeatureCacheLRU(t *testing.T) {
 		t.Fatal("nil cache misbehaved")
 	}
 	nilCache.put(1, row(1)) // must not panic
-	if newFeatureCache(0, tensor.QuantOff) != nil {
+	if newFeatureCache(0, tensor.QuantOff, nil) != nil {
 		t.Fatal("zero-capacity cache not disabled")
 	}
 }

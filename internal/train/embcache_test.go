@@ -1,0 +1,149 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"betty/internal/device"
+	"betty/internal/embcache"
+	"betty/internal/obs"
+	"betty/internal/sample"
+)
+
+// The runner-level cache tests drive RunMicroBatch/Step directly with one
+// fixed sampled batch, the controlled analogue of the engine's
+// sample-once-partition-run-step loop: within a step every micro-batch
+// shares the parent batch (rows bitwise stable), and across steps the
+// version bump is what separates legitimate weight drift from corruption.
+
+func newTrainCache(t *testing.T, mode embcache.Mode, maxLag int, reg *obs.Registry) *embcache.Cache {
+	t.Helper()
+	c, err := embcache.New(embcache.Config{
+		Mode: mode, BudgetBytes: 8 * device.MiB, MaxLag: maxLag, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Exact mode: re-running the same micro-batch before the optimizer step
+// verifies every cached row bitwise (gradient-accumulation shape), and the
+// whole run's losses and parameters are bitwise the uncached run's.
+func TestExactCacheTrainingBitwise(t *testing.T) {
+	d := testData(t)
+	s := sample.New([]int{5, 5}, 1)
+	blocks, err := s.Sample(d.Graph, d.TrainIdx[:96])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(c *embcache.Cache) ([]uint64, []uint32) {
+		r := testRunner(t, d, nil)
+		r.Emb = c
+		var losses []uint64
+		for step := 0; step < 4; step++ {
+			// Two forwards per step: the second verifies the first's rows
+			// at the same version (exact mode's self-check).
+			for micro := 0; micro < 2; micro++ {
+				res, err := r.RunMicroBatch(blocks, 0.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				losses = append(losses, math.Float64bits(res.Loss))
+			}
+			r.Step()
+		}
+		var params []uint32
+		for _, p := range r.Model.Params() {
+			for _, v := range p.Value.Data {
+				params = append(params, math.Float32bits(v))
+			}
+		}
+		return losses, params
+	}
+
+	baseLosses, baseParams := run(nil)
+	reg := obs.New(nil)
+	c := newTrainCache(t, embcache.ModeExact, 0, reg)
+	cachedLosses, cachedParams := run(c)
+
+	for i := range baseLosses {
+		if baseLosses[i] != cachedLosses[i] {
+			t.Fatalf("micro-batch %d loss differs with exact cache", i)
+		}
+	}
+	for i := range baseParams {
+		if baseParams[i] != cachedParams[i] {
+			t.Fatalf("trained parameter %d differs with exact cache", i)
+		}
+	}
+	if reg.CounterValue("embcache.verify_failures") != 0 {
+		t.Fatal("exact-mode verify failed during training")
+	}
+	if c.Version() != 4 {
+		t.Fatalf("version = %d after 4 steps, want 4", c.Version())
+	}
+}
+
+// Reuse mode: hits never exceed the configured version lag, stale rows are
+// recomputed, and training still converges with the final loss close to
+// the exact run's.
+func TestReuseCacheStalenessBoundedTraining(t *testing.T) {
+	d := testData(t)
+	s := sample.New([]int{5, 5}, 1)
+	blocks, err := s.Sample(d.Graph, d.TrainIdx[:96])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 12
+
+	run := func(c *embcache.Cache) []float64 {
+		r := testRunner(t, d, nil)
+		r.Emb = c
+		losses := make([]float64, 0, steps)
+		for step := 0; step < steps; step++ {
+			res, err := r.RunMicroBatch(blocks, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, res.Loss)
+			r.Step()
+		}
+		return losses
+	}
+
+	exactLosses := run(nil)
+	const maxLag = 1
+	reg := obs.New(nil)
+	c := newTrainCache(t, embcache.ModeReuse, maxLag, reg)
+	reuseLosses := run(c)
+
+	// The staleness bound: no reuse hit ever carried a version lag beyond
+	// the budget, and entries beyond it were dropped and recomputed.
+	if got := c.MaxObservedLag(); got > maxLag {
+		t.Fatalf("observed lag %d exceeds the %d bound", got, maxLag)
+	}
+	hits, _ := c.Stats()
+	if hits == 0 {
+		t.Fatal("re-running the same batch produced no reuse hits")
+	}
+	if reg.CounterValue("embcache.stale_drops") == 0 {
+		t.Fatalf("%d steps at lag budget %d never dropped a stale row", steps, maxLag)
+	}
+
+	// The approximation stays bounded: training still converges, and the
+	// final loss lands near the exact run's.
+	if reuseLosses[steps-1] >= reuseLosses[0] {
+		t.Fatalf("reuse-mode loss did not decrease: %v -> %v", reuseLosses[0], reuseLosses[steps-1])
+	}
+	// Bound the approximation, not just the trend: reuse must recover at
+	// least half of the loss reduction the exact run achieved over the
+	// same steps (historical embeddings slow layer-1 learning — hit rows
+	// carry no gradient — but must not stall it).
+	exactDrop := exactLosses[0] - exactLosses[steps-1]
+	reuseDrop := reuseLosses[0] - reuseLosses[steps-1]
+	if reuseDrop < 0.5*exactDrop {
+		t.Fatalf("reuse recovered %v of the exact run's %v loss reduction (< 50%%)", reuseDrop, exactDrop)
+	}
+}

@@ -1,0 +1,104 @@
+package train_test
+
+import (
+	"math"
+	"testing"
+
+	"betty/internal/core"
+	"betty/internal/dataset"
+	"betty/internal/device"
+	"betty/internal/embcache"
+	"betty/internal/obs"
+	"betty/internal/parallel"
+)
+
+// The full-engine acceptance test for the exact cache mode: the engine's
+// sample → REG-partition → micro-batch → step loop, with the cache
+// attached to its runner, must produce bitwise the losses and parameters
+// of the uncached engine — at one worker and at eight, under -race in CI.
+// The partitioned micro-batches share layer-1 frontier nodes (REG
+// minimizes but does not eliminate redundancy), so this is also the
+// integration proof that same-version verify holds across micro-batches.
+func TestEngineExactCacheBitwiseAtWorkers(t *testing.T) {
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name: "t", Nodes: 600, AvgDegree: 8, FeatureDim: 16,
+		NumClasses: 4, Homophily: 0.8, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const epochs = 3
+	run := func(cached bool) ([]uint64, []uint32, *embcache.Cache) {
+		s, err := core.BuildSAGE(d, core.Options{
+			Seed: 7, Hidden: 16, Fanouts: []int{4, 6}, FixedK: 2, LR: 0.01,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c *embcache.Cache
+		if cached {
+			if c, err = embcache.New(embcache.Config{
+				Mode: embcache.ModeExact, BudgetBytes: 8 * device.MiB, Obs: obs.New(nil),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			s.Runner.Emb = c
+		}
+		var losses []uint64
+		for e := 0; e < epochs; e++ {
+			st, err := s.Engine.TrainEpochMicro()
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, math.Float64bits(st.Loss))
+		}
+		var params []uint32
+		for _, p := range s.Model.Params() {
+			for _, v := range p.Value.Data {
+				params = append(params, math.Float32bits(v))
+			}
+		}
+		return losses, params, c
+	}
+
+	type result struct {
+		losses []uint64
+		params []uint32
+	}
+	var runs []result
+	for _, w := range []int{1, 8} {
+		prev := parallel.SetWorkers(w)
+		base, baseParams, _ := run(false)
+		cachedLosses, cachedParams, c := run(true)
+		parallel.SetWorkers(prev)
+
+		for e := range base {
+			if base[e] != cachedLosses[e] {
+				t.Fatalf("workers %d epoch %d: exact-cache loss differs from uncached", w, e+1)
+			}
+		}
+		for i := range baseParams {
+			if baseParams[i] != cachedParams[i] {
+				t.Fatalf("workers %d: parameter %d differs with exact cache", w, i)
+			}
+		}
+		if c.Dim() == 0 {
+			t.Fatalf("workers %d: cache never populated", w)
+		}
+		runs = append(runs, result{cachedLosses, cachedParams})
+	}
+
+	// And the cached runs agree across worker counts, extending the
+	// repo-wide worker-determinism invariant through the cache path.
+	for e := range runs[0].losses {
+		if runs[0].losses[e] != runs[1].losses[e] {
+			t.Fatalf("epoch %d: cached loss differs between 1 and 8 workers", e+1)
+		}
+	}
+	for i := range runs[0].params {
+		if runs[0].params[i] != runs[1].params[i] {
+			t.Fatalf("parameter %d differs between 1 and 8 workers", i)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"betty/internal/dataset"
 	"betty/internal/device"
+	"betty/internal/embcache"
 	"betty/internal/graph"
 	"betty/internal/nn"
 	"betty/internal/obs"
@@ -60,6 +61,12 @@ type Runner struct {
 	// step, eval) and per-micro-batch metrics. A nil registry costs one
 	// pointer test per instrumentation point (see BenchmarkMicroBatchObs).
 	Obs *obs.Registry
+
+	// Emb, when active, is the historical-embedding cache (DESIGN.md §16):
+	// micro-batch forwards route through embcache.Forward, and every
+	// optimizer Step bumps the cache's weight version. Evaluation and
+	// MeasureForward never consult it.
+	Emb *embcache.Cache
 
 	resident []*device.Buffer
 
@@ -218,7 +225,12 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 	fsp := r.Obs.StartSpan(obs.PhaseForward).
 		SetInt("input_nodes", int64(input.NumSrc)).
 		SetInt("outputs", int64(last.NumDst))
-	logits := r.Model.Forward(tp, blocks, tensor.Leaf(x))
+	logits, err := r.forward(tp, blocks, tensor.Leaf(x))
+	if err != nil {
+		fsp.End()
+		free()
+		return res, err
+	}
 	loss := tp.SoftmaxCrossEntropy(logits, labels)
 	fsp.End()
 	res.Loss = float64(loss.Value.Data[0])
@@ -258,6 +270,18 @@ func (r *Runner) RunMicroBatch(blocks []*graph.Block, scale float32) (StepResult
 		r.Obs.Observe("micro.peak_bytes", res.PeakBytes)
 	}
 	return res, nil
+}
+
+// forward routes a micro-batch forward through the historical-embedding
+// cache when one is active; otherwise it is exactly Model.Forward. In
+// exact mode the cached path is op-for-op identical to the plain one
+// (verified bitwise row by row), so loss and gradients never change; in
+// reuse mode hit rows enter as constants and only misses are computed.
+func (r *Runner) forward(tp *tensor.Tape, blocks []*graph.Block, x *tensor.Var) (*tensor.Var, error) {
+	if !r.Emb.Active() {
+		return r.Model.Forward(tp, blocks, x), nil
+	}
+	return embcache.Forward(tp, r.Model, blocks, x, r.Emb)
 }
 
 // ForwardCost reports the measured cost of a gradient-free forward pass:
@@ -312,6 +336,10 @@ func (r *Runner) Step() {
 		p.ZeroGrad()
 	}
 	sp.End()
+	// The weights just changed: advance the embedding-cache version so
+	// rows computed before this step age by one (and exact mode never
+	// verifies against rows from older weights).
+	r.Emb.BumpVersion()
 	r.Obs.Add("train.steps", 1)
 }
 
